@@ -1,0 +1,74 @@
+//! Criterion bench for the RMT-PKA receiver's decision subroutine: cost as
+//! a function of network size and of injected claim conflicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmt_adversary::AdversaryStructure;
+use rmt_core::protocols::pka_decision::{DecisionConfig, ReceiverState};
+use rmt_core::sampling::threshold_instance;
+use rmt_graph::{generators, Graph, ViewKind};
+use rmt_sets::NodeId;
+use std::hint::black_box;
+
+/// Builds a receiver state loaded with the honest information of a
+/// ring-with-chords instance, plus `conflicts` fake claims on one node.
+fn loaded_state(n: usize, conflicts: usize) -> (ReceiverState, DecisionConfig) {
+    let mut rng = generators::seeded(n as u64);
+    let g = generators::ring_with_chords(n, n / 4, &mut rng);
+    let inst = threshold_instance(g.clone(), 1, ViewKind::AdHoc, 0, n as u32 / 2);
+    let me = inst.receiver();
+    let mut state = ReceiverState::new(
+        me,
+        inst.dealer(),
+        inst.view(me).clone(),
+        inst.local_structure(me),
+    );
+    for u in g.nodes() {
+        if u == me {
+            continue;
+        }
+        state.ingest_claim(u, inst.view(u).clone(), inst.local_structure(u));
+    }
+    for p in rmt_graph::paths::simple_paths(&g, inst.dealer(), me, 100_000).unwrap() {
+        // The engine stores trails without the receiver; strip it.
+        state.ingest_value(7, &p[..p.len() - 1]);
+    }
+    for k in 0..conflicts {
+        let mut fake = Graph::new();
+        fake.add_edge(1.into(), NodeId::new(100 + k as u32));
+        state.ingest_claim(1.into(), fake, AdversaryStructure::trivial());
+    }
+    (state, DecisionConfig::default())
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pka_decision");
+    group.sample_size(20);
+    for &n in &[8usize, 12, 16] {
+        let (state, cfg) = loaded_state(n, 0);
+        group.bench_with_input(BenchmarkId::new("honest_pool", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| black_box(s.decide(&cfg)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    for &conflicts in &[0usize, 2, 4] {
+        let (state, cfg) = loaded_state(10, conflicts);
+        group.bench_with_input(
+            BenchmarkId::new("with_conflicts", conflicts),
+            &conflicts,
+            |b, _| {
+                b.iter_batched(
+                    || state.clone(),
+                    |mut s| black_box(s.decide(&cfg)),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the ⊕ operation (E1 companion): materialized fold vs
+//! lazy cylinder membership, across operand counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmt_adversary::{JointView, RestrictedStructure};
+use rmt_core::sampling::random_structure;
+use rmt_graph::generators::seeded;
+use rmt_sets::{NodeId, NodeSet};
+use std::hint::black_box;
+
+fn windows(n: usize, k: usize) -> Vec<NodeSet> {
+    (0..k)
+        .map(|i| {
+            let base = (i * n / k) as u32;
+            (0..=n as u32 / 2)
+                .map(|j| NodeId::new((base + j) % n as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("join");
+    for &k in &[2usize, 4, 8, 16] {
+        let mut rng = seeded(0xBE);
+        let z = random_structure(&NodeSet::universe(n), 5, 3, &mut rng);
+        let parts: Vec<RestrictedStructure> = windows(n, k)
+            .into_iter()
+            .map(|d| RestrictedStructure::restrict(&z, d))
+            .collect();
+        let view: JointView = parts.iter().cloned().collect();
+        let candidate: NodeSet = [0u32, 3, 7, 11].into_iter().collect();
+
+        group.bench_with_input(BenchmarkId::new("materialize", k), &k, |b, _| {
+            b.iter(|| black_box(view.materialize()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_contains", k), &k, |b, _| {
+            b.iter(|| black_box(view.contains(&candidate)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

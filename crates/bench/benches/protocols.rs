@@ -1,0 +1,52 @@
+//! Criterion bench for honest protocol runs (E6 companion): Z-CPA's
+//! polynomial cost vs RMT-PKA's path-propagation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmt_core::protocols::rmt_pka::RmtPka;
+use rmt_core::protocols::zcpa::ZCpa;
+use rmt_core::sampling::threshold_instance;
+use rmt_graph::generators::{self, seeded};
+use rmt_graph::ViewKind;
+use rmt_sets::NodeSet;
+use rmt_sim::{Runner, SilentAdversary};
+use std::hint::black_box;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols");
+    group.sample_size(20);
+    for &n in &[8usize, 12, 16] {
+        let mut rng = seeded(n as u64);
+        let g = generators::ring_with_chords(n, n / 4, &mut rng);
+        let inst = threshold_instance(g, 0, ViewKind::AdHoc, 0, n as u32 / 2);
+        group.bench_with_input(BenchmarkId::new("zcpa_honest", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Runner::new(
+                        inst.graph().clone(),
+                        |v| ZCpa::node(&inst, v, 7),
+                        SilentAdversary::new(NodeSet::new()),
+                    )
+                    .run()
+                    .decision(inst.receiver()),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rmt_pka_honest", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Runner::new(
+                        inst.graph().clone(),
+                        |v| RmtPka::node(&inst, v, 7),
+                        SilentAdversary::new(NodeSet::new()),
+                    )
+                    .run()
+                    .decision(inst.receiver()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for the Theorem-9 self-reduction (E7 companion): Z-CPA
+//! with the explicit membership oracle vs the Π-simulation oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmt_core::protocols::zcpa::ZCpa;
+use rmt_core::reduction::PiSimulationOracle;
+use rmt_core::sampling::random_instance;
+use rmt_graph::generators::seeded;
+use rmt_graph::ViewKind;
+use rmt_sets::NodeSet;
+use rmt_sim::{Runner, SilentAdversary};
+use std::hint::black_box;
+
+fn bench_self_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("self_reduction");
+    group.sample_size(30);
+    for &n in &[8usize, 12] {
+        let mut rng = seeded(0x5E1F ^ n as u64);
+        let inst = random_instance(n, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("explicit_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Runner::new(
+                        inst.graph().clone(),
+                        |v| ZCpa::node(&inst, v, 7),
+                        SilentAdversary::new(NodeSet::new()),
+                    )
+                    .run()
+                    .decision(inst.receiver()),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pi_simulation_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Runner::new(
+                        inst.graph().clone(),
+                        |v| {
+                            ZCpa::with_oracle(
+                                &inst,
+                                v,
+                                7,
+                                PiSimulationOracle::for_node(&inst, v, 1 << 20),
+                            )
+                        },
+                        SilentAdversary::new(NodeSet::new()),
+                    )
+                    .run()
+                    .decision(inst.receiver()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_self_reduction);
+criterion_main!(benches);

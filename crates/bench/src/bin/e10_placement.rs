@@ -1,0 +1,88 @@
+//! E10 — knowledge placement: where must topology knowledge be invested?
+//!
+//! Starting from ad hoc knowledge, find the minimum number of nodes whose
+//! upgrade to radius-2 views makes RMT solvable (the non-uniform direction
+//! of the paper's minimal-γ partial order), across random families and the
+//! designed gap witness.
+
+use rmt_bench::Table;
+use rmt_core::analysis::minimal_upgrade_set;
+use rmt_core::cuts::find_rmt_cut;
+use rmt_core::gallery;
+use rmt_core::sampling::random_structure;
+use rmt_core::Instance;
+use rmt_graph::generators::{self, seeded};
+use rmt_graph::ViewKind;
+
+fn main() {
+    let mut rng = seeded(0xE10);
+    let mut table = Table::new(
+        "E10: minimal radius-2 upgrade sets over ad hoc baseline (30 instances per family)",
+        &[
+            "family",
+            "already solvable",
+            "fixable: 1 node",
+            "2 nodes",
+            "3+",
+            "unfixable",
+        ],
+    );
+    type Family = Box<dyn Fn(&mut rand_chacha::ChaCha12Rng) -> rmt_graph::Graph>;
+    let families: Vec<(&str, Family)> = vec![
+        ("cycle(9)", Box::new(|_| generators::cycle(9))),
+        (
+            "ring(9)+2 chords",
+            Box::new(|rng| generators::ring_with_chords(9, 2, rng)),
+        ),
+        (
+            "gnp(9, 0.3)",
+            Box::new(|rng| generators::gnp_connected(9, 0.3, rng)),
+        ),
+    ];
+    for (name, make) in families {
+        let trials = 30;
+        let (mut solved, mut one, mut two, mut more, mut unfixable) = (0, 0, 0, 0, 0);
+        for _ in 0..trials {
+            let g = make(&mut rng);
+            let z = random_structure(g.nodes(), 3, 2, &mut rng);
+            let d = 0u32.into();
+            let r = 4u32.into();
+            match minimal_upgrade_set(&g, &z, d, r, 2, 3) {
+                Some(s) if s.is_empty() => solved += 1,
+                Some(s) if s.len() == 1 => one += 1,
+                Some(s) if s.len() == 2 => two += 1,
+                Some(_) => more += 1,
+                None => unfixable += 1,
+            }
+        }
+        table.row(&[
+            name.to_string(),
+            solved.to_string(),
+            one.to_string(),
+            two.to_string(),
+            more.to_string(),
+            unfixable.to_string(),
+        ]);
+    }
+    // The designed witness.
+    let (g, z) = gallery::staggered_theta_parts();
+    let upgrade = minimal_upgrade_set(&g, &z, 0.into(), 9.into(), 2, 3).unwrap();
+    table.row(&[
+        "staggered-theta".to_string(),
+        "0".to_string(),
+        if upgrade.len() == 1 { "1" } else { "0" }.to_string(),
+        if upgrade.len() == 2 { "1" } else { "0" }.to_string(),
+        if upgrade.len() >= 3 { "1" } else { "0" }.to_string(),
+        "0".to_string(),
+    ]);
+    table.print();
+    println!("staggered-theta minimal upgrade set: {upgrade} (upgrading this node to a radius-2");
+    println!("view refutes the triple-cut framing; verified solvable below).");
+    let inst = rmt_core::analysis::mixed_views_instance(&g, &z, 0.into(), 9.into(), &upgrade, 2);
+    assert!(find_rmt_cut(&inst).is_none());
+    let adhoc = Instance::new(g, z, ViewKind::AdHoc, 0.into(), 9.into()).unwrap();
+    assert!(find_rmt_cut(&adhoc).is_some());
+    println!("\nShape check: most random ad hoc instances are already solvable or genuinely");
+    println!("unsolvable (pair cuts); the gap cases are fixed by one or two well-placed");
+    println!("upgrades — knowledge placement as a design-phase tool.");
+}

@@ -1,0 +1,171 @@
+//! The scenario-swap (indistinguishability) attack — the executable form of
+//! the impossibility proofs (Theorem 3, Theorem 8; Figure 2).
+//!
+//! Given an RMT-cut witness `C = C₁ ∪ C₂`, two runs are executed in
+//! lockstep:
+//!
+//! * run **e** on the true instance (structure 𝒵, dealer value `x₀`) with
+//!   corruption set `C₁`;
+//! * run **e′** on the forged instance (structure 𝒵′, dealer value `x₁`)
+//!   with corruption set `C₂`,
+//!
+//! where 𝒵′ = materialize(𝒵_B) ∪ {C₂}: the receiver-side component `B`
+//! cannot distinguish 𝒵′ from 𝒵 (their traces on every `V(γ(v))`, `v ∈ B`,
+//! coincide — that is exactly what the RMT-cut condition
+//! `C₂ ∩ V(γ(B)) ∈ 𝒵_B` buys), and `C₂` is admissible in 𝒵′.
+//!
+//! Corrupted nodes mirror their honest alter ego from the twin run
+//! ([`CoupledRunner`]). The theory predicts — and the experiments assert —
+//! that every node of `B` receives identical messages in both runs, so a
+//! *safe* protocol cannot decide in either.
+
+use rmt_adversary::AdversaryStructure;
+use rmt_sets::NodeSet;
+
+use crate::cuts::RmtCutWitness;
+use crate::instance::Instance;
+use crate::knowledge::KnowledgeCache;
+use crate::protocols::rmt_pka::RmtPka;
+use crate::protocols::Value;
+use rmt_sim::CoupledRunner;
+
+/// Why the coupled attack could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoupledAttackError {
+    /// Materializing 𝒵_B exceeded the antichain bound.
+    JointBlowup {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for CoupledAttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoupledAttackError::JointBlowup { limit } => {
+                write!(f, "materializing 𝒵_B exceeded {limit} maximal sets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoupledAttackError {}
+
+/// The outcome of the scenario-swap attack.
+#[derive(Clone, Debug)]
+pub struct CoupledAttackReport {
+    /// Whether the receiver's deliveries were identical in both runs (the
+    /// indistinguishability the construction establishes).
+    pub receiver_views_equal: bool,
+    /// Whether *every* node of B had identical deliveries.
+    pub component_views_equal: bool,
+    /// R's decision in run e (true structure, value `x0`).
+    pub decision_e: Option<Value>,
+    /// R's decision in run e′ (forged structure, value `x1`).
+    pub decision_e2: Option<Value>,
+    /// `true` if either run decided a value different from its dealer's —
+    /// a safety violation.
+    pub safety_violation: bool,
+    /// `true` if the attack *blocked* the protocol: no decision in run e.
+    pub blocked: bool,
+}
+
+/// Executes the scenario-swap attack for an RMT-cut witness.
+///
+/// # Errors
+///
+/// Returns [`CoupledAttackError::JointBlowup`] if 𝒵_B cannot be materialized
+/// within `join_limit` maximal sets.
+pub fn run_coupled_attack(
+    inst: &Instance,
+    witness: &RmtCutWitness,
+    x0: Value,
+    x1: Value,
+    join_limit: usize,
+) -> Result<CoupledAttackReport, CoupledAttackError> {
+    let cache = KnowledgeCache::new(inst);
+    let b = &witness.receiver_component;
+
+    // 𝒵′ = materialize(𝒵_B) ∪ {C₂}.
+    let z_b = cache
+        .joint_view(b)
+        .materialize_bounded(join_limit)
+        .ok_or(CoupledAttackError::JointBlowup { limit: join_limit })?;
+    let mut forged_sets: Vec<NodeSet> = z_b.structure().maximal_sets().to_vec();
+    forged_sets.push(witness.c2.clone());
+    let z_forged = AdversaryStructure::from_sets(forged_sets);
+
+    let inst_forged = Instance::with_views(
+        inst.graph().clone(),
+        z_forged,
+        inst.views().clone(),
+        inst.dealer(),
+        inst.receiver(),
+    )
+    .expect("forged instance shares the verified topology");
+
+    let outcome = CoupledRunner::new(
+        inst.graph().clone(),
+        witness.c1.clone(),
+        witness.c2.clone(),
+        |v| RmtPka::node(inst, v, x0),
+        |v| RmtPka::node(&inst_forged, v, x1),
+    )
+    .run();
+
+    let r = inst.receiver();
+    let decision_e = outcome.decision_e(r);
+    let decision_e2 = outcome.decision_e2(r);
+    Ok(CoupledAttackReport {
+        receiver_views_equal: outcome.views_equal(r),
+        component_views_equal: b.iter().all(|v| outcome.views_equal(v)),
+        decision_e,
+        decision_e2,
+        safety_violation: decision_e.is_some_and(|x| x != x0)
+            || decision_e2.is_some_and(|x| x != x1),
+        blocked: decision_e.is_none(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::find_rmt_cut;
+    use rmt_graph::{Graph, ViewKind};
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn bad_diamond() -> Instance {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let z = AdversaryStructure::from_sets([set(&[1]), set(&[2])]);
+        Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap()
+    }
+
+    #[test]
+    fn swap_attack_blocks_pka_on_the_bad_diamond() {
+        let inst = bad_diamond();
+        let witness = find_rmt_cut(&inst).expect("instance is unsolvable");
+        let report = run_coupled_attack(&inst, &witness, 0, 1, 1 << 16).unwrap();
+        assert!(report.receiver_views_equal, "{report:?}");
+        assert!(report.component_views_equal, "{report:?}");
+        assert!(!report.safety_violation, "{report:?}");
+        assert!(report.blocked, "{report:?}");
+        assert_eq!(report.decision_e, report.decision_e2);
+    }
+
+    #[test]
+    fn join_limit_is_enforced() {
+        let inst = bad_diamond();
+        let witness = find_rmt_cut(&inst).unwrap();
+        assert!(matches!(
+            run_coupled_attack(&inst, &witness, 0, 1, 0),
+            Err(CoupledAttackError::JointBlowup { limit: 0 })
+        ));
+    }
+}

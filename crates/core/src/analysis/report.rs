@@ -1,0 +1,150 @@
+//! A one-call structured report over an instance — everything the
+//! `rmt-cli` inspector prints, as data.
+
+use rmt_sets::NodeSet;
+
+use crate::analysis::feasibility::{characterize, minimal_knowledge_radius, quick_unsolvable};
+use crate::cuts::{zcpa_resilient, RmtCutWitness, ZppCutWitness};
+use crate::instance::Instance;
+use crate::protocols::rmt_pka::run_pka;
+use crate::protocols::zcpa::run_zcpa;
+use crate::protocols::Value;
+use rmt_sim::SilentAdversary;
+
+/// Outcome of one protocol run inside a report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolOutcome {
+    /// The corruption set used.
+    pub corruption: NodeSet,
+    /// The receiver's decision.
+    pub decision: Option<Value>,
+    /// Honest messages sent.
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+/// Everything the analyses can say about one instance.
+#[derive(Clone, Debug)]
+pub struct InstanceReport {
+    /// The RMT-cut witness (partial-knowledge obstruction), if any.
+    pub rmt_cut: Option<RmtCutWitness>,
+    /// The 𝒵-pp cut witness (ad hoc obstruction), if any.
+    pub zpp_cut: Option<ZppCutWitness>,
+    /// Whether the fast pre-filter already proves unsolvability.
+    pub quick_unsolvable: bool,
+    /// The minimal uniform knowledge radius, if any makes it solvable.
+    pub minimal_radius: Option<usize>,
+    /// RMT-PKA under every worst-case silent corruption.
+    pub pka_runs: Vec<ProtocolOutcome>,
+    /// Z-CPA under every worst-case silent corruption.
+    pub zcpa_runs: Vec<ProtocolOutcome>,
+}
+
+impl InstanceReport {
+    /// Whether safe resilient RMT is possible (no RMT-cut).
+    pub fn solvable(&self) -> bool {
+        self.rmt_cut.is_none()
+    }
+
+    /// Whether the protocol outcomes are consistent with the
+    /// characterization (solvable ⇒ all PKA runs delivered; a mismatch
+    /// would indicate a bug).
+    pub fn consistent(&self, input: Value) -> bool {
+        !self.solvable() || self.pka_runs.iter().all(|r| r.decision == Some(input))
+    }
+}
+
+/// Builds the full report, running both protocols under every worst-case
+/// silent corruption with dealer value `input`.
+///
+/// # Example
+///
+/// ```
+/// use rmt_core::{analysis, gallery};
+/// use rmt_graph::ViewKind;
+///
+/// let report = analysis::report(&gallery::tolerant_diamond(ViewKind::AdHoc), 42);
+/// assert!(report.solvable());
+/// assert!(report.consistent(42));
+/// assert_eq!(report.minimal_radius, Some(1));
+/// ```
+pub fn report(inst: &Instance, input: Value) -> InstanceReport {
+    let c = characterize(inst);
+    let minimal_radius = minimal_knowledge_radius(
+        inst.graph(),
+        inst.adversary(),
+        inst.dealer(),
+        inst.receiver(),
+        inst.graph().node_count(),
+    );
+    let mut pka_runs = Vec::new();
+    let mut zcpa_runs = Vec::new();
+    for t in inst.worst_case_corruptions() {
+        let pka = run_pka(inst, input, SilentAdversary::new(t.clone()));
+        pka_runs.push(ProtocolOutcome {
+            corruption: t.clone(),
+            decision: pka.decision(inst.receiver()),
+            messages: pka.metrics.honest_messages,
+            rounds: pka.metrics.rounds,
+        });
+        let zcpa = run_zcpa(inst, input, SilentAdversary::new(t.clone()));
+        zcpa_runs.push(ProtocolOutcome {
+            corruption: t,
+            decision: zcpa.decision(inst.receiver()),
+            messages: zcpa.metrics.honest_messages,
+            rounds: zcpa.metrics.rounds,
+        });
+    }
+    InstanceReport {
+        rmt_cut: c.rmt_cut,
+        zpp_cut: c.zpp_cut,
+        quick_unsolvable: quick_unsolvable(inst),
+        minimal_radius,
+        pka_runs,
+        zcpa_runs,
+    }
+}
+
+/// `true` iff the Z-CPA outcomes in the report match the analytic
+/// resilience verdict.
+pub fn zcpa_outcomes_consistent(inst: &Instance, rep: &InstanceReport, input: Value) -> bool {
+    !zcpa_resilient(inst) || rep.zcpa_runs.iter().all(|r| r.decision == Some(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+    use rmt_graph::ViewKind;
+
+    #[test]
+    fn report_on_the_gap_witness() {
+        let rep = report(&gallery::staggered_theta(ViewKind::Radius(2)), 5);
+        assert!(rep.solvable());
+        assert!(!rep.quick_unsolvable);
+        assert_eq!(rep.minimal_radius, Some(2));
+        assert!(rep.consistent(5));
+        // Z-CPA fails on it (ad hoc rule), so its runs abstain.
+        assert!(rep.zcpa_runs.iter().all(|r| r.decision.is_none()));
+        assert!(zcpa_outcomes_consistent(
+            &gallery::staggered_theta(ViewKind::Radius(2)),
+            &rep,
+            5
+        ));
+    }
+
+    #[test]
+    fn report_on_an_unsolvable_instance() {
+        let inst = gallery::unsolvable_diamond(ViewKind::AdHoc);
+        let rep = report(&inst, 5);
+        assert!(!rep.solvable());
+        assert!(rep.quick_unsolvable);
+        assert_eq!(rep.minimal_radius, None);
+        assert!(rep.consistent(5)); // vacuously: not solvable
+                                    // Safety: no run decided a wrong value.
+        for r in rep.pka_runs.iter().chain(&rep.zcpa_runs) {
+            assert!(r.decision.is_none() || r.decision == Some(5));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's cut notions and their deciders.
+//!
+//! * [`rmt_cut`] — the **RMT-cut** of Definition 3: the exact obstruction to
+//!   RMT in the partial knowledge model (Theorems 3 and 5).
+//! * [`zpp`] — the **RMT 𝒵-pp cut** of Definition 7: the obstruction in the
+//!   ad hoc model (Theorems 7 and 8), decidable both by exhaustive cut
+//!   enumeration and by the polynomial Z-CPA fixpoint.
+
+pub mod rmt_cut;
+pub mod zpp;
+
+pub use rmt_cut::{find_rmt_cut, is_rmt_cut, rmt_cut_exists, RmtCutWitness};
+pub use zpp::{
+    is_zpp_cut, zcpa_fixpoint, zcpa_fixpoint_broadcast, zcpa_resilient, zpp_cut_by_enumeration,
+    zpp_cut_by_fixpoint, zpp_cut_exists, ZppCutWitness,
+};

@@ -1,0 +1,219 @@
+//! The RMT-cut of Definition 3.
+//!
+//! `C = C₁ ∪ C₂` is an **RMT-cut** for (G, 𝒵, γ, D, R) iff `C` is a D–R cut
+//! (partitioning V∖C with D and R on different sides, B the connected
+//! component of R), `C₁ ∈ 𝒵`, and `C₂ ∩ V(γ(B)) ∈ 𝒵_B`.
+//!
+//! By Theorems 3 and 5 of the paper the existence of an RMT-cut is *exactly*
+//! the unsolvability of safe reliable message transmission, so these
+//! deciders are the ground truth the protocol experiments are checked
+//! against.
+//!
+//! Because membership in 𝒵 and 𝒵_B is monotone, it is WLOG to examine, for
+//! each maximal `T ∈ 𝒵`, the partition `C₁ = C ∩ T`, `C₂ = C ∖ T` (any
+//! admissible C₁ is contained in some maximal T, and shrinking C₂ only makes
+//! its condition easier). This turns the partition search into a linear scan
+//! over the antichain of 𝒵.
+//!
+//! The search over cuts `C` is exhaustive over subsets of V∖{D,R} — the
+//! characterization is NP-hard in general, and the experiments use instances
+//! with `n ≲ 16` where this is exact and fast enough.
+
+use rmt_graph::traversal;
+use rmt_sets::NodeSet;
+
+use crate::instance::Instance;
+use crate::knowledge::KnowledgeCache;
+
+/// A witness that an RMT-cut exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RmtCutWitness {
+    /// The whole cut C = C₁ ∪ C₂.
+    pub cut: NodeSet,
+    /// The admissible part (C₁ ∈ 𝒵).
+    pub c1: NodeSet,
+    /// The part only locally plausible to B (C₂ ∩ V(γ(B)) ∈ 𝒵_B).
+    pub c2: NodeSet,
+    /// R's connected component B of G ∖ C.
+    pub receiver_component: NodeSet,
+}
+
+/// Checks whether `c` is an RMT-cut, returning the partition witness.
+///
+/// Returns `None` if `c` is not a D–R cut or no admissible partition exists.
+pub fn is_rmt_cut(inst: &Instance, cache: &KnowledgeCache, c: &NodeSet) -> Option<RmtCutWitness> {
+    let (d, r) = (inst.dealer(), inst.receiver());
+    if c.contains(d) || c.contains(r) {
+        return None;
+    }
+    let without = inst.graph().without_nodes(c);
+    let b = traversal::component_of(&without, r);
+    if b.contains(d) {
+        return None; // not a cut
+    }
+    let gamma_b = cache.joint_domain(&b);
+    for t in inst.adversary().maximal_sets() {
+        let c2 = c.difference(t);
+        if cache.joint_contains(&b, &c2.intersection(&gamma_b)) {
+            return Some(RmtCutWitness {
+                cut: c.clone(),
+                c1: c.intersection(t),
+                c2,
+                receiver_component: b,
+            });
+        }
+    }
+    // The trivial structure admits C₁ = ∅ only; handled above iff the
+    // antichain is non-empty. Cover the trivial case explicitly.
+    if inst.adversary().maximal_sets().is_empty()
+        && cache.joint_contains(&b, &c.intersection(&gamma_b))
+    {
+        return Some(RmtCutWitness {
+            cut: c.clone(),
+            c1: NodeSet::new(),
+            c2: c.clone(),
+            receiver_component: b,
+        });
+    }
+    None
+}
+
+/// Finds an RMT-cut by exhaustive search, preferring smaller cuts (the
+/// subset enumeration visits low-order combinations first).
+///
+/// # Example
+///
+/// ```
+/// use rmt_core::{cuts, gallery};
+/// use rmt_graph::ViewKind;
+///
+/// let witness = cuts::find_rmt_cut(&gallery::unsolvable_diamond(ViewKind::AdHoc))
+///     .expect("the diamond is unsolvable");
+/// assert_eq!(witness.cut.len(), 2);
+/// assert!(cuts::find_rmt_cut(&gallery::tolerant_diamond(ViewKind::AdHoc)).is_none());
+/// ```
+pub fn find_rmt_cut(inst: &Instance) -> Option<RmtCutWitness> {
+    let cache = KnowledgeCache::new(inst);
+    let mut candidates = inst.graph().nodes().clone();
+    candidates.remove(inst.dealer());
+    candidates.remove(inst.receiver());
+    // If D and R are adjacent no node cut exists at all.
+    if inst.graph().has_edge(inst.dealer(), inst.receiver()) {
+        return None;
+    }
+    candidates
+        .subsets()
+        .find_map(|c| is_rmt_cut(inst, &cache, &c))
+}
+
+/// `true` iff the instance admits an RMT-cut — i.e. (Theorems 3 + 5) iff no
+/// safe and resilient RMT algorithm exists for it.
+pub fn rmt_cut_exists(inst: &Instance) -> bool {
+    find_rmt_cut(inst).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_adversary::AdversaryStructure;
+    use rmt_graph::{generators, Graph, ViewKind};
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    /// Diamond: D=0, two parallel relays 1,2, R=3.
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        g
+    }
+
+    #[test]
+    fn one_corruptible_relay_is_not_an_rmt_cut() {
+        // 𝒵 = {{1}}: only relay 1 can fall. {1} alone is not a cut; {1,2}
+        // needs C₂ = {2} admissible for B = {3}, whose view sees 2 — and
+        // {2} ∉ 𝒵_R. So no RMT-cut: RMT is solvable.
+        let z = AdversaryStructure::from_sets([set(&[1])]);
+        let inst = Instance::new(diamond(), z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
+        assert!(!rmt_cut_exists(&inst));
+    }
+
+    #[test]
+    fn two_corruptible_relays_give_an_rmt_cut() {
+        // 𝒵 = {{1},{2}}: either relay can fall. C = {1,2}, C₁ = {1} ∈ 𝒵,
+        // C₂ = {2}: R's local trace of 𝒵 contains {2}, so C₂ ∩ V(γ(B)) ∈ 𝒵_B.
+        let z = AdversaryStructure::from_sets([set(&[1]), set(&[2])]);
+        let inst = Instance::new(diamond(), z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
+        let w = find_rmt_cut(&inst).expect("RMT-cut must exist");
+        assert_eq!(w.cut, set(&[1, 2]));
+        assert_eq!(w.receiver_component, set(&[3]));
+        assert!(inst.adversary().contains(&w.c1));
+    }
+
+    #[test]
+    fn full_knowledge_can_remove_the_cut() {
+        // Same structure, but full topology knowledge: B = {3} now knows the
+        // whole graph and the whole 𝒵, so 𝒵_B = 𝒵^{V}. C₂ = {2} with
+        // C₁ = {1}: {2} ∈ 𝒵 — still a cut! Knowledge does not help here
+        // because 𝒵 itself admits each relay.
+        let z = AdversaryStructure::from_sets([set(&[1]), set(&[2])]);
+        let inst = Instance::new(diamond(), z, ViewKind::Full, 0.into(), 3.into()).unwrap();
+        assert!(rmt_cut_exists(&inst));
+
+        // But when 𝒵's sets span *both* sides of a cheating scenario that
+        // only limited views would conflate, knowledge matters: on the
+        // 6-cycle with 𝒵 = {{1},{4}} and D=0, R=3, the ad hoc B = {2,3,4}…
+        let g = generators::cycle(6);
+        let z = AdversaryStructure::from_sets([set(&[1]), set(&[4])]);
+        let adhoc =
+            Instance::new(g.clone(), z.clone(), ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
+        let full = Instance::new(g, z, ViewKind::Full, 0.into(), 3.into()).unwrap();
+        // Full knowledge: C = {1,4}, C₁ = {1}, C₂ = {4} ∈ 𝒵 ⊆ 𝒵_B: cut for
+        // both. (Solvability here genuinely requires 2-connectivity beyond
+        // 𝒵; this documents that the notions agree where they must.)
+        assert_eq!(rmt_cut_exists(&adhoc), rmt_cut_exists(&full));
+    }
+
+    #[test]
+    fn adjacent_endpoints_never_have_a_cut() {
+        let mut g = diamond();
+        g.add_edge(0.into(), 3.into());
+        let z = AdversaryStructure::from_sets([set(&[1]), set(&[2])]);
+        let inst = Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
+        assert!(!rmt_cut_exists(&inst));
+    }
+
+    #[test]
+    fn trivial_structure_on_2_connected_graph_has_no_cut() {
+        let g = generators::cycle(5);
+        let inst = Instance::new(
+            g,
+            AdversaryStructure::trivial(),
+            ViewKind::AdHoc,
+            0.into(),
+            2.into(),
+        )
+        .unwrap();
+        assert!(!rmt_cut_exists(&inst));
+    }
+
+    #[test]
+    fn disconnected_endpoints_have_the_empty_rmt_cut() {
+        let mut g = generators::path_graph(2);
+        g.add_node(4.into());
+        let inst = Instance::new(
+            g,
+            AdversaryStructure::trivial(),
+            ViewKind::AdHoc,
+            0.into(),
+            4.into(),
+        )
+        .unwrap();
+        let w = find_rmt_cut(&inst).expect("empty cut separates");
+        assert!(w.cut.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Joint-knowledge computations over an instance.
+//!
+//! The cut deciders evaluate `𝒵_B = ⊕_{v∈B} 𝒵^{V(γ(v))}` for very many node
+//! sets `B`. [`KnowledgeCache`] precomputes every player's restricted
+//! structure once and answers joint-membership queries with the cylinder
+//! characterization (see `rmt-adversary`), avoiding any antichain blow-up.
+
+use rmt_adversary::{JointView, RestrictedStructure};
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::instance::Instance;
+
+/// Precomputed per-node knowledge for fast joint queries.
+#[derive(Clone, Debug)]
+pub struct KnowledgeCache {
+    /// v ↦ 𝒵^{V(γ(v))}, indexed by node id.
+    parts: Vec<Option<RestrictedStructure>>,
+}
+
+impl KnowledgeCache {
+    /// Builds the cache for an instance.
+    pub fn new(inst: &Instance) -> Self {
+        let size = inst.graph().nodes().last().map_or(0, |v| v.index() + 1);
+        let mut parts = vec![None; size];
+        for v in inst.graph().nodes() {
+            let domain = inst.view_domain(v);
+            parts[v.index()] = Some(RestrictedStructure::restrict(inst.adversary(), domain));
+        }
+        KnowledgeCache { parts }
+    }
+
+    /// The restricted structure 𝒵^{V(γ(v))} of one player.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has no cached knowledge (not a node of the instance).
+    pub fn part(&self, v: NodeId) -> &RestrictedStructure {
+        self.parts
+            .get(v.index())
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("no knowledge cached for {v}"))
+    }
+
+    /// The domain V(γ(B)) = ∪_{v∈B} V(γ(v)).
+    pub fn joint_domain(&self, b: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new();
+        for v in b {
+            out.union_with(self.part(v).domain());
+        }
+        out
+    }
+
+    /// Membership in 𝒵_B = ⊕_{v∈B} 𝒵^{V(γ(v))}, via the cylinder test:
+    /// `set ⊆ V(γ(B))` and `set ∩ V(γ(v)) ∈ 𝒵_v` for every `v ∈ B`.
+    pub fn joint_contains(&self, b: &NodeSet, set: &NodeSet) -> bool {
+        set.is_subset(&self.joint_domain(b))
+            && b.iter().all(|v| {
+                let p = self.part(v);
+                p.contains(&set.intersection(p.domain()))
+            })
+    }
+
+    /// Materializes 𝒵_B as a [`JointView`] (for callers needing the antichain
+    /// or repeated heavy queries).
+    pub fn joint_view(&self, b: &NodeSet) -> JointView {
+        b.iter().map(|v| self.part(v).clone()).collect()
+    }
+
+    /// The joint *topology* view γ(B) for the same node set, from the
+    /// instance's assignment.
+    pub fn joint_graph(inst: &Instance, b: &NodeSet) -> Graph {
+        inst.views().joint_view(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_graph::{generators, ViewKind};
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn instance() -> Instance {
+        let g = generators::cycle(6);
+        let z = rmt_adversary::threshold(g.nodes(), 2);
+        Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap()
+    }
+
+    #[test]
+    fn joint_domain_unions_view_domains() {
+        let inst = instance();
+        let cache = KnowledgeCache::new(&inst);
+        // Stars of 1 and 2 on the 6-cycle: {0,1,2} ∪ {1,2,3}.
+        assert_eq!(cache.joint_domain(&set(&[1, 2])), set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn joint_contains_matches_materialized_join() {
+        let inst = instance();
+        let cache = KnowledgeCache::new(&inst);
+        let b = set(&[1, 2, 4]);
+        let view = cache.joint_view(&b);
+        let materialized = view.materialize();
+        for cand in cache.joint_domain(&b).subsets() {
+            assert_eq!(
+                cache.joint_contains(&b, &cand),
+                materialized.contains(&cand),
+                "{cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_knowledge_can_exceed_global_structure() {
+        // Corollary 2 in action: the joint structure is a (possibly strict)
+        // superset of the true restriction.
+        let inst = instance();
+        let cache = KnowledgeCache::new(&inst);
+        let b = set(&[1, 4]); // disjoint stars: {0,1,2} and {3,4,5}
+                              // {0, 2, 3, 5} has two nodes in each view domain... t = 2 traces: each
+                              // trace has 2 nodes, admissible locally, so jointly admissible —
+        let cand = set(&[0, 2, 3, 5]);
+        assert!(cache.joint_contains(&b, &cand));
+        // — although globally inadmissible (4 > t = 2).
+        assert!(!inst.adversary().contains(&cand));
+    }
+
+    #[test]
+    fn empty_b_admits_only_empty_set() {
+        let inst = instance();
+        let cache = KnowledgeCache::new(&inst);
+        assert!(cache.joint_contains(&NodeSet::new(), &NodeSet::new()));
+        assert!(!cache.joint_contains(&NodeSet::new(), &set(&[1])));
+    }
+}

@@ -1,0 +1,371 @@
+//! Byzantine attack strategies for the safety and characterization
+//! experiments.
+//!
+//! Each strategy implements the full-information [`Adversary`] interface of
+//! `rmt-sim`. The *scenario-swap* (indistinguishability) attack is not here:
+//! it is a two-run construction and lives in
+//! [`analysis::coupled_attack`](crate::analysis::coupled_attack).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use rmt_adversary::AdversaryStructure;
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{Adversary, Envelope, FnAdversary, MapAdversary, SilentAdversary};
+
+use crate::instance::Instance;
+use crate::protocols::rmt_pka::{PkaPayload, RmtPka};
+use crate::protocols::Value;
+
+/// The attack strategies exercised against RMT-PKA in the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PkaAttack {
+    /// Corrupted nodes send nothing (omission).
+    Silent,
+    /// Corrupted nodes behave honestly but flip every relayed dealer value.
+    FlipValue,
+    /// Corrupted nodes flip values *and* forge the propagation trail to
+    /// claim a direct dealer connection.
+    ForgeTrails,
+    /// Corrupted nodes report fictitious topology: invented nodes, fake
+    /// views, fabricated dealer paths, and a lying self-claim.
+    FictitiousTopology,
+    /// Corrupted nodes spam the network with many conflicting knowledge
+    /// claims about honest nodes, trying to exhaust the receiver's
+    /// selection budget (the receiver must stay safe even when its search
+    /// is truncated).
+    ClaimSpam,
+}
+
+/// All strategies, for exhaustive sweeps.
+pub const PKA_ATTACKS: [PkaAttack; 5] = [
+    PkaAttack::Silent,
+    PkaAttack::FlipValue,
+    PkaAttack::ForgeTrails,
+    PkaAttack::FictitiousTopology,
+    PkaAttack::ClaimSpam,
+];
+
+impl std::fmt::Display for PkaAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PkaAttack::Silent => write!(f, "silent"),
+            PkaAttack::FlipValue => write!(f, "flip-value"),
+            PkaAttack::ForgeTrails => write!(f, "forge-trails"),
+            PkaAttack::FictitiousTopology => write!(f, "fictitious-topology"),
+            PkaAttack::ClaimSpam => write!(f, "claim-spam"),
+        }
+    }
+}
+
+/// Builds the adversary implementing `attack` against RMT-PKA on `inst`
+/// with corruption set `corrupted`.
+///
+/// `honest_input` is the dealer value corrupted nodes would have relayed
+/// honestly (used by the honest-shell attacks); `seed` makes randomized
+/// strategies reproducible.
+pub fn pka_adversary(
+    inst: &Instance,
+    honest_input: Value,
+    corrupted: NodeSet,
+    attack: PkaAttack,
+    seed: u64,
+) -> Box<dyn Adversary<PkaPayload>> {
+    match attack {
+        PkaAttack::Silent => Box::new(SilentAdversary::new(corrupted)),
+        PkaAttack::FlipValue => {
+            let inst = inst.clone();
+            Box::new(MapAdversary::new(
+                corrupted,
+                move |v| RmtPka::node(&inst, v, honest_input),
+                |_, mut env: Envelope<PkaPayload>| {
+                    if let PkaPayload::DealerValue { value, .. } = &mut env.payload {
+                        *value ^= 1;
+                    }
+                    Some(env)
+                },
+            ))
+        }
+        PkaAttack::ForgeTrails => {
+            let inst = inst.clone();
+            let dealer = inst.dealer();
+            Box::new(MapAdversary::new(
+                corrupted,
+                move |v| RmtPka::node(&inst, v, honest_input),
+                move |_, mut env: Envelope<PkaPayload>| {
+                    if let PkaPayload::DealerValue { value, trail } = &mut env.payload {
+                        *value ^= 1;
+                        // Pretend the value came straight from the dealer
+                        // through us (tail must be the true sender to pass
+                        // the recipient's check).
+                        *trail = vec![dealer, env.from];
+                    }
+                    Some(env)
+                },
+            ))
+        }
+        PkaAttack::FictitiousTopology => {
+            Box::new(fictitious_topology(inst, honest_input, corrupted, seed))
+        }
+        PkaAttack::ClaimSpam => Box::new(claim_spam(inst, honest_input, corrupted, seed)),
+    }
+}
+
+/// The claim-spam attack: each corrupted node fabricates many mutually
+/// conflicting knowledge claims about its honest neighbours (each with a
+/// slightly different fake view) plus flipped values, inflating the
+/// receiver's selection space.
+fn claim_spam(
+    inst: &Instance,
+    honest_input: Value,
+    corrupted: NodeSet,
+    seed: u64,
+) -> impl Adversary<PkaPayload> {
+    let dealer = inst.dealer();
+    let corrupted_inner = corrupted.clone();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    FnAdversary::new(corrupted, move |round, graph: &Graph, _| {
+        if round != 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for c in &corrupted_inner {
+            for target in graph.neighbors(c) {
+                if corrupted_inner.contains(target) {
+                    continue;
+                }
+                // Several conflicting claims about `target`, each naming a
+                // different phantom neighbour.
+                for k in 0..6u32 {
+                    let phantom = NodeId::new(1000 + 10 * target.raw() + k);
+                    let mut fake_view = Graph::new();
+                    fake_view.add_edge(target, phantom);
+                    fake_view.add_edge(target, c);
+                    let claim = PkaPayload::Knowledge {
+                        node: target,
+                        view: fake_view,
+                        structure: AdversaryStructure::trivial(),
+                        trail: vec![target, c],
+                    };
+                    for n in graph.neighbors(c) {
+                        out.push(Envelope::new(c, n, claim.clone()));
+                    }
+                }
+                if rng.random_bool(0.8) {
+                    let fake_value = PkaPayload::DealerValue {
+                        value: honest_input ^ 1,
+                        trail: vec![dealer, target, c],
+                    };
+                    for n in graph.neighbors(c) {
+                        out.push(Envelope::new(c, n, fake_value.clone()));
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// The fictitious-topology attack: each corrupted node invents a ghost node
+/// adjacent to both the dealer and itself, claims knowledge for the ghost
+/// and a false view for itself, and injects a flipped dealer value allegedly
+/// routed through the ghost.
+fn fictitious_topology(
+    inst: &Instance,
+    honest_input: Value,
+    corrupted: NodeSet,
+    seed: u64,
+) -> impl Adversary<PkaPayload> {
+    let dealer = inst.dealer();
+    let first_free = inst.graph().nodes().last().map_or(0, |v| v.raw() + 1);
+    let corrupted_for_closure = corrupted.clone();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    FnAdversary::new(corrupted, move |round, graph: &Graph, _| {
+        if round != 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, c) in corrupted_for_closure.iter().enumerate() {
+            let ghost = NodeId::new(first_free + i as u32);
+            // Ghost's claimed view: dealer — ghost — c.
+            let mut ghost_view = Graph::new();
+            ghost_view.add_edge(dealer, ghost);
+            ghost_view.add_edge(ghost, c);
+            let ghost_claim = PkaPayload::Knowledge {
+                node: ghost,
+                view: ghost_view.clone(),
+                structure: AdversaryStructure::trivial(),
+                trail: vec![ghost, c],
+            };
+            // c's lying self-claim: it pretends the ghost edge exists and
+            // hides a random real neighbour.
+            let mut self_view = ghost_view;
+            let real: Vec<NodeId> = graph.neighbors(c).iter().collect();
+            for (j, n) in real.iter().enumerate() {
+                if !(j == 0 && rng.random_bool(0.5)) {
+                    self_view.add_edge(c, *n);
+                }
+            }
+            let self_claim = PkaPayload::Knowledge {
+                node: c,
+                view: self_view,
+                structure: AdversaryStructure::trivial(),
+                trail: vec![c],
+            };
+            // A flipped dealer value allegedly routed dealer → ghost → c.
+            let fake_value = PkaPayload::DealerValue {
+                value: honest_input ^ 1,
+                trail: vec![dealer, ghost, c],
+            };
+            for n in graph.neighbors(c) {
+                out.push(Envelope::new(c, n, ghost_claim.clone()));
+                out.push(Envelope::new(c, n, self_claim.clone()));
+                out.push(Envelope::new(c, n, fake_value.clone()));
+            }
+        }
+        out
+    })
+}
+
+/// Attack strategies against Z-CPA (single-value messages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ZcpaAttack {
+    /// Send nothing.
+    Silent,
+    /// Relay a flipped value to everyone.
+    FlipValue,
+    /// Send different values to different neighbours.
+    Equivocate,
+}
+
+/// All Z-CPA strategies, for exhaustive sweeps.
+pub const ZCPA_ATTACKS: [ZcpaAttack; 3] = [
+    ZcpaAttack::Silent,
+    ZcpaAttack::FlipValue,
+    ZcpaAttack::Equivocate,
+];
+
+impl std::fmt::Display for ZcpaAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZcpaAttack::Silent => write!(f, "silent"),
+            ZcpaAttack::FlipValue => write!(f, "flip-value"),
+            ZcpaAttack::Equivocate => write!(f, "equivocate"),
+        }
+    }
+}
+
+/// Builds the adversary implementing `attack` against Z-CPA.
+pub fn zcpa_adversary(
+    honest_input: Value,
+    corrupted: NodeSet,
+    attack: ZcpaAttack,
+) -> Box<dyn Adversary<Value>> {
+    match attack {
+        ZcpaAttack::Silent => Box::new(SilentAdversary::new(corrupted)),
+        ZcpaAttack::FlipValue => {
+            let c2 = corrupted.clone();
+            Box::new(FnAdversary::new(
+                corrupted,
+                move |round, graph: &Graph, _| {
+                    if round != 1 {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    for c in &c2 {
+                        for n in graph.neighbors(c) {
+                            out.push(Envelope::new(c, n, honest_input ^ 1));
+                        }
+                    }
+                    out
+                },
+            ))
+        }
+        ZcpaAttack::Equivocate => {
+            let c2 = corrupted.clone();
+            Box::new(FnAdversary::new(
+                corrupted,
+                move |round, graph: &Graph, _| {
+                    if round != 1 {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    for c in &c2 {
+                        for (i, n) in graph.neighbors(c).iter().enumerate() {
+                            out.push(Envelope::new(c, n, honest_input ^ (i as u64 + 1)));
+                        }
+                    }
+                    out
+                },
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::rmt_pka::run_pka;
+    use rmt_graph::ViewKind;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn diamond_instance(z_sets: &[&[u32]]) -> Instance {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let z = AdversaryStructure::from_sets(
+            z_sets
+                .iter()
+                .map(|s| s.iter().copied().collect::<NodeSet>()),
+        );
+        Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap()
+    }
+
+    /// On a solvable instance every attack must leave the receiver deciding
+    /// the true value (resilience) — and never a wrong one (safety).
+    #[test]
+    fn solvable_diamond_resists_every_attack() {
+        let inst = diamond_instance(&[&[1]]);
+        for attack in PKA_ATTACKS {
+            let adv = pka_adversary(&inst, 7, set(&[1]), attack, 11);
+            let out = run_pka(&inst, 7, adv);
+            assert_eq!(out.decision(3.into()), Some(7), "attack {attack}");
+        }
+    }
+
+    /// On an unsolvable instance no attack may trick the receiver into a
+    /// wrong decision (safety of Theorem 4); deciding the true value or
+    /// abstaining are both acceptable outcomes.
+    #[test]
+    fn unsolvable_diamond_never_decides_wrong() {
+        let inst = diamond_instance(&[&[1], &[2]]);
+        for attack in PKA_ATTACKS {
+            for corrupted in [set(&[1]), set(&[2])] {
+                let adv = pka_adversary(&inst, 7, corrupted.clone(), attack, 13);
+                let out = run_pka(&inst, 7, adv);
+                let d = out.decision(3.into());
+                assert!(
+                    d.is_none() || d == Some(7),
+                    "attack {attack}, corrupted {corrupted}: decided {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zcpa_attacks_never_fool_solvable_diamond() {
+        use crate::protocols::zcpa::run_zcpa;
+        let inst = diamond_instance(&[&[1]]);
+        for attack in ZCPA_ATTACKS {
+            let adv = zcpa_adversary(7, set(&[1]), attack);
+            let out = run_zcpa(&inst, 7, adv);
+            assert_eq!(out.decision(3.into()), Some(7), "attack {attack}");
+        }
+    }
+}

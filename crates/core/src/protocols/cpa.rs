@@ -1,0 +1,204 @@
+//! The classic Certified Propagation Algorithm (Koo '04) — the `t+1` rule —
+//! as a baseline, and its exact correspondence with Z-CPA.
+//!
+//! CPA is Z-CPA instantiated for the t-locally-bounded model: a player
+//! certifies a value received from `t+1` neighbours, because at most `t` of
+//! its neighbours can be corrupted. The correspondence
+//! `CpaClassic ≡ ZCpa(threshold trace)` is tested here and measured in
+//! experiment E5.
+
+use std::collections::BTreeMap;
+
+use rmt_sets::NodeId;
+use rmt_sim::{Envelope, NodeContext, Protocol};
+
+use crate::instance::Instance;
+use crate::protocols::zcpa::{ExplicitOracle, ZCpa};
+use crate::protocols::Value;
+
+/// One player's classic-CPA state machine with the counting rule.
+#[derive(Clone, Debug)]
+pub struct CpaClassic {
+    id: NodeId,
+    dealer: NodeId,
+    receiver: NodeId,
+    t: usize,
+    input: Option<Value>,
+    received: BTreeMap<NodeId, Option<Value>>,
+    decision: Option<Value>,
+    relayed: bool,
+}
+
+impl CpaClassic {
+    /// Builds node `v` for the t-locally-bounded model with bound `t`.
+    pub fn node(dealer: NodeId, receiver: NodeId, t: usize, v: NodeId, input: Value) -> Self {
+        CpaClassic {
+            id: v,
+            dealer,
+            receiver,
+            t,
+            input: (v == dealer).then_some(input),
+            received: BTreeMap::new(),
+            decision: None,
+            relayed: false,
+        }
+    }
+
+    fn relay_sends(&mut self, ctx: &NodeContext, x: Value) -> Vec<(NodeId, Value)> {
+        if self.relayed || self.id == self.receiver {
+            return Vec::new();
+        }
+        self.relayed = true;
+        ctx.neighbors.iter().map(|n| (n, x)).collect()
+    }
+}
+
+impl Protocol for CpaClassic {
+    type Payload = Value;
+    type Decision = Value;
+
+    fn start(&mut self, ctx: &NodeContext) -> Vec<(NodeId, Value)> {
+        if self.id == self.dealer {
+            let x = self.input.expect("dealer has an input");
+            self.decision = Some(x);
+            self.relayed = true;
+            return ctx.neighbors.iter().map(|n| (n, x)).collect();
+        }
+        Vec::new()
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext, inbox: &[Envelope<Value>]) -> Vec<(NodeId, Value)> {
+        if self.decision.is_some() {
+            return Vec::new();
+        }
+        for env in inbox {
+            if env.from == self.dealer {
+                self.decision = Some(env.payload);
+                let x = env.payload;
+                return self.relay_sends(ctx, x);
+            }
+            match self.received.entry(env.from) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Some(env.payload));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if *e.get() != Some(env.payload) {
+                        e.insert(None);
+                    }
+                }
+            }
+        }
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for val in self.received.values().flatten() {
+            *counts.entry(*val).or_default() += 1;
+        }
+        if let Some((&x, _)) = counts.iter().find(|(_, &c)| c > self.t) {
+            self.decision = Some(x);
+            return self.relay_sends(ctx, x);
+        }
+        Vec::new()
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+}
+
+/// Builds the Z-CPA node equivalent to classic CPA with bound `t`: the
+/// membership oracle is the threshold trace on the player's neighbourhood
+/// (`class` certified iff `|class| ≥ t+1`).
+pub fn zcpa_threshold_node(
+    inst: &Instance,
+    t: usize,
+    v: NodeId,
+    input: Value,
+) -> ZCpa<ExplicitOracle> {
+    let trace = rmt_adversary::local_threshold_trace(inst.graph().neighbors(v), t);
+    ZCpa::with_oracle(inst, v, input, ExplicitOracle::new(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_adversary::AdversaryStructure;
+    use rmt_graph::{generators, ViewKind};
+    use rmt_sets::NodeSet;
+    use rmt_sim::{Runner, SilentAdversary};
+
+    /// CPA and ZCpa-with-threshold-trace must decide identically on every
+    /// node, for every silent corruption of size ≤ t·(local density), on
+    /// random instances.
+    #[test]
+    fn cpa_equals_zcpa_threshold_instantiation() {
+        let mut rng = generators::seeded(31);
+        for trial in 0..25 {
+            let n = 6 + trial % 3;
+            let g = generators::gnp_connected(n, 0.5, &mut rng);
+            let t = 1 + trial % 2;
+            let d = NodeId::new(0);
+            let r = NodeId::new(n as u32 - 1);
+            // Any instance works for construction; 𝒵 is irrelevant to
+            // CpaClassic and overridden for ZCpa by the threshold trace.
+            let inst = Instance::new(
+                g.clone(),
+                AdversaryStructure::trivial(),
+                ViewKind::AdHoc,
+                d,
+                r,
+            )
+            .unwrap();
+            use rand::Rng as _;
+            let corrupt: NodeSet = g
+                .nodes()
+                .iter()
+                .filter(|v| *v != d && *v != r && rng.random_bool(0.25))
+                .collect();
+            let cpa_out = Runner::new(
+                g.clone(),
+                |v| CpaClassic::node(d, r, t, v, 11),
+                SilentAdversary::new(corrupt.clone()),
+            )
+            .run();
+            let zcpa_out = Runner::new(
+                g.clone(),
+                |v| zcpa_threshold_node(&inst, t, v, 11),
+                SilentAdversary::new(corrupt.clone()),
+            )
+            .run();
+            for v in g.nodes() {
+                assert_eq!(
+                    cpa_out.decision(v),
+                    zcpa_out.decision(v),
+                    "trial {trial}, node {v}, t = {t}, corrupt = {corrupt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpa_needs_t_plus_one_witnesses() {
+        // Diamond: R has two relays. With t = 1, R needs 2 equal values.
+        let mut g = rmt_graph::Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let d = NodeId::new(0);
+        let r = NodeId::new(3);
+        let honest = Runner::new(
+            g.clone(),
+            |v| CpaClassic::node(d, r, 1, v, 5),
+            SilentAdversary::new(NodeSet::new()),
+        )
+        .run();
+        assert_eq!(honest.decision(r), Some(5));
+        // One relay silenced: only one witness left, R must stay undecided.
+        let attacked = Runner::new(
+            g,
+            |v| CpaClassic::node(d, r, 1, v, 5),
+            SilentAdversary::new(NodeSet::singleton(1.into())),
+        )
+        .run();
+        assert_eq!(attacked.decision(r), None);
+    }
+}

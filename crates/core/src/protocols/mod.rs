@@ -1,0 +1,20 @@
+//! The RMT protocols: RMT-PKA (Protocol 1), Z-CPA for RMT, and the classic
+//! CPA baseline.
+//!
+//! All protocols implement [`rmt_sim::Protocol`] and run under the
+//! synchronous Byzantine scheduler. PPA — the full-knowledge path
+//! propagation baseline — exists both as the standalone [`ppa::Ppa`] with
+//! the classical credibility rule and as RMT-PKA instantiated with
+//! [`ViewKind::Full`](rmt_graph::ViewKind::Full) (its type-2 messages become
+//! redundant but harmless); the two are cross-tested.
+
+pub mod attacks;
+pub mod cpa;
+pub mod pka_decision;
+pub mod ppa;
+pub mod rmt_pka;
+pub mod zcpa;
+
+/// The dealer's message space X. A machine word is plenty for the
+/// experiments; the protocols only compare values for equality.
+pub type Value = u64;

@@ -1,0 +1,512 @@
+//! The receiver's decision subroutine of RMT-PKA (Protocol 1, subroutine
+//! *decision*): full message sets (Definition 5) and adversary covers
+//! (Definition 6).
+//!
+//! The receiver accumulates type-1 messages (value + propagation trail) and
+//! type-2 messages (a node's claimed view γ(u) and local structure 𝒵_u).
+//! Corrupted nodes can inject *conflicting* claims about the same node and
+//! entirely fictitious nodes, so a candidate valid set M corresponds to a
+//! *selection*: one claim per claimed node (conflicts arise only through
+//! corrupted trails, so honest information always survives as one of the
+//! options). For each selection the engine
+//!
+//! 1. builds `G_M` — the subgraph induced by the joint claimed view on the
+//!    claiming node set `V_M` (plus the receiver's own knowledge);
+//! 2. searches for an **adversary cover** (Definition 6): a D–R cut `C` of
+//!    `G_M` with `C ∩ V(γ(B)) ∈ 𝒵_B`, where `B` is R's component of
+//!    `G_M ∖ C` and `𝒵_B` is the joint of the *claimed* structures of `B`
+//!    (evaluated with the cylinder membership test — never materialized);
+//! 3. if no cover exists, checks **fullness** per candidate value `x`: every
+//!    D–R path of `G_M` must have arrived as a type-1 trail carrying `x`;
+//!    the first full, cover-free `(selection, x)` decides `x`.
+//!
+//! Everything is budgeted ([`DecisionConfig`]); exceeding a budget makes the
+//! receiver *conservative* (it abstains rather than risking an unverified
+//! decision), preserving safety unconditionally — the [`truncated`] flag
+//! records that feasibility may have been under-reported.
+//!
+//! [`truncated`]: ReceiverState::truncated
+//!
+//! Deviation from the paper's presentation (documented in DESIGN.md): the
+//! subroutine runs once per round instead of once per received message —
+//! observationally equivalent in a synchronous model.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rmt_adversary::AdversaryStructure;
+use rmt_graph::{paths, traversal, Graph};
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::protocols::Value;
+
+/// Budgets for the receiver's (exponential in the worst case) decision
+/// search.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionConfig {
+    /// Maximum number of claim selections examined per round.
+    pub max_selections: usize,
+    /// Maximum number of D–R paths enumerated per candidate `G_M`.
+    pub max_paths: usize,
+    /// Maximum `|V_M| − 2` for the exhaustive adversary-cover search
+    /// (the search visits `2^(|V_M|−2)` subsets).
+    pub max_cover_candidates: usize,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            max_selections: 256,
+            max_paths: 50_000,
+            max_cover_candidates: 22,
+        }
+    }
+}
+
+/// One node's claimed knowledge, as carried by a type-2 message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Claim {
+    /// The claimed view γ(u).
+    pub view: Graph,
+    /// The claimed local structure 𝒵_u.
+    pub structure: AdversaryStructure,
+}
+
+/// The receiver's accumulated messages and decision engine.
+#[derive(Clone, Debug)]
+pub struct ReceiverState {
+    me: NodeId,
+    dealer: NodeId,
+    my_view: Graph,
+    my_structure: AdversaryStructure,
+    /// Received dealer-value trails, as full D…R paths, grouped by value.
+    type1: BTreeMap<Value, HashSet<Vec<NodeId>>>,
+    /// Claims per node; conflicting claims are kept side by side.
+    claims: BTreeMap<NodeId, Vec<Claim>>,
+    /// `true` once any search budget was exceeded (feasibility may be
+    /// under-reported; safety is unaffected).
+    pub truncated: bool,
+    /// Claims dropped as self-inconsistent (structure escaping the view, or
+    /// view not containing the node).
+    pub malformed_claims: u64,
+}
+
+impl ReceiverState {
+    /// Creates the engine for receiver `me` with its own knowledge.
+    pub fn new(
+        me: NodeId,
+        dealer: NodeId,
+        my_view: Graph,
+        my_structure: AdversaryStructure,
+    ) -> Self {
+        ReceiverState {
+            me,
+            dealer,
+            my_view,
+            my_structure,
+            type1: BTreeMap::new(),
+            claims: BTreeMap::new(),
+            truncated: false,
+            malformed_claims: 0,
+        }
+    }
+
+    /// Ingests a validated type-1 message: `trail` is the propagation trail
+    /// (ending at the neighbour that delivered it); the stored D–R path is
+    /// `trail ‖ me`.
+    pub fn ingest_value(&mut self, value: Value, trail: &[NodeId]) {
+        let mut path = trail.to_vec();
+        path.push(self.me);
+        self.type1.entry(value).or_default().insert(path);
+    }
+
+    /// Ingests a validated type-2 message: node `u` claims knowledge
+    /// `(view, structure)`.
+    ///
+    /// Self-inconsistent claims (the view does not contain `u`, or the
+    /// structure mentions nodes outside the view) are detectably malformed
+    /// and dropped.
+    pub fn ingest_claim(&mut self, u: NodeId, view: Graph, structure: AdversaryStructure) {
+        if u == self.me {
+            // The receiver's own knowledge is authoritative; claims about it
+            // are noise by construction.
+            self.malformed_claims += 1;
+            return;
+        }
+        if !view.contains_node(u)
+            || structure
+                .maximal_sets()
+                .iter()
+                .any(|m| !m.is_subset(view.nodes()))
+        {
+            self.malformed_claims += 1;
+            return;
+        }
+        let claim = Claim { view, structure };
+        let entry = self.claims.entry(u).or_default();
+        if !entry.contains(&claim) {
+            entry.push(claim);
+        }
+    }
+
+    /// The number of distinct claims currently held for node `u`.
+    pub fn claim_count(&self, u: NodeId) -> usize {
+        self.claims.get(&u).map_or(0, Vec::len)
+    }
+
+    /// Runs the full-message-set propagation rule; `Some(x)` iff some valid,
+    /// full, cover-free message set M with `value(M) = x` exists within the
+    /// budgets.
+    ///
+    /// A candidate M is determined by (a) an *exclusion set* E of claiming
+    /// nodes whose type-2 messages are left out of M — necessary because a
+    /// corrupted node may report honest knowledge while lying about values,
+    /// so the honest full set omits it — and (b) one claim per remaining
+    /// node with conflicting claims. Exclusion sets are enumerated in
+    /// increasing size (the honest run needs E = ∅, an attacked run
+    /// |E| ≤ |T|), claim selections by a mixed-radix counter, all under the
+    /// shared `max_selections` budget.
+    pub fn decide(&mut self, cfg: &DecisionConfig) -> Option<Value> {
+        if self.type1.is_empty() || !self.claims.contains_key(&self.dealer) {
+            return None;
+        }
+        let all_nodes: Vec<NodeId> = self.claims.keys().copied().collect();
+        let mut excludable: NodeSet = all_nodes.iter().copied().collect();
+        excludable.remove(self.dealer); // D must be in V_M for paths to exist
+
+        let mut truncated = false;
+        let mut examined = 0usize;
+        let mut result = None;
+
+        'search: for k in 0..=excludable.len() {
+            for excluded in excludable.combinations(k) {
+                let nodes: Vec<NodeId> = all_nodes
+                    .iter()
+                    .copied()
+                    .filter(|u| !excluded.contains(*u))
+                    .collect();
+                let radices: Vec<usize> = nodes.iter().map(|u| self.claims[u].len()).collect();
+                let mut counter = vec![0usize; nodes.len()];
+                loop {
+                    if examined >= cfg.max_selections {
+                        truncated = true;
+                        break 'search;
+                    }
+                    examined += 1;
+                    let selection: Vec<(NodeId, &Claim)> = nodes
+                        .iter()
+                        .zip(&counter)
+                        .map(|(&u, &i)| (u, &self.claims[&u][i]))
+                        .collect();
+                    if let Some(x) = self.examine_selection(&selection, cfg, &mut truncated) {
+                        result = Some(x);
+                        break 'search;
+                    }
+                    // Advance the mixed-radix counter; done when it wraps.
+                    let mut wrapped = true;
+                    for (digit, &radix) in counter.iter_mut().zip(&radices) {
+                        *digit += 1;
+                        if *digit < radix {
+                            wrapped = false;
+                            break;
+                        }
+                        *digit = 0;
+                    }
+                    if wrapped {
+                        break;
+                    }
+                }
+            }
+        }
+        self.truncated |= truncated;
+        result
+    }
+
+    /// Examines one claim selection: builds G_M, rejects it if an adversary
+    /// cover exists, otherwise looks for a value whose paths make M full.
+    fn examine_selection(
+        &self,
+        selection: &[(NodeId, &Claim)],
+        cfg: &DecisionConfig,
+        truncated: &mut bool,
+    ) -> Option<Value> {
+        // V_M: the claiming nodes plus the receiver itself (whose knowledge
+        // R holds locally).
+        let mut v_m: NodeSet = selection.iter().map(|(u, _)| *u).collect();
+        v_m.insert(self.me);
+        if !v_m.contains(self.dealer) {
+            return None;
+        }
+
+        // γ(V_M) and the induced G_M.
+        let mut joint = self.my_view.clone();
+        for (_, claim) in selection {
+            joint.union_with(&claim.view);
+        }
+        let g_m = joint.induced(&v_m);
+        if !g_m.contains_node(self.dealer) || !g_m.contains_node(self.me) {
+            return None;
+        }
+
+        let all_paths = match paths::simple_paths(&g_m, self.dealer, self.me, cfg.max_paths) {
+            Ok(p) => p,
+            Err(_) => {
+                *truncated = true;
+                return None;
+            }
+        };
+        if all_paths.is_empty() {
+            return None;
+        }
+
+        if self.has_adversary_cover(&g_m, &v_m, selection, cfg, truncated) {
+            return None;
+        }
+
+        // Fullness per candidate value: every D–R path of G_M must have
+        // arrived carrying x.
+        for (&x, received) in &self.type1 {
+            if all_paths.iter().all(|p| received.contains(p)) {
+                return Some(x);
+            }
+        }
+        None
+    }
+
+    /// Exhaustive search for an adversary cover of M (Definition 6).
+    fn has_adversary_cover(
+        &self,
+        g_m: &Graph,
+        v_m: &NodeSet,
+        selection: &[(NodeId, &Claim)],
+        cfg: &DecisionConfig,
+        truncated: &mut bool,
+    ) -> bool {
+        let mut candidates = v_m.clone();
+        candidates.remove(self.dealer);
+        candidates.remove(self.me);
+        if candidates.len() > cfg.max_cover_candidates {
+            // Cannot verify the absence of a cover: abstain conservatively.
+            *truncated = true;
+            return true;
+        }
+        // Claimed knowledge per node, for the joint-structure membership.
+        let knowledge: BTreeMap<NodeId, (&Graph, &AdversaryStructure)> = selection
+            .iter()
+            .map(|(u, c)| (*u, (&c.view, &c.structure)))
+            .chain(std::iter::once((
+                self.me,
+                (&self.my_view, &self.my_structure),
+            )))
+            .collect();
+
+        'cuts: for c in candidates.subsets() {
+            let b = traversal::reachable_avoiding(g_m, self.me, &c);
+            if b.contains(self.dealer) {
+                continue; // not a cut of G_M
+            }
+            // γ(B) from the claimed views of B.
+            let mut gamma_b = NodeSet::new();
+            for u in &b {
+                if let Some((view, _)) = knowledge.get(&u) {
+                    gamma_b.union_with(view.nodes());
+                }
+            }
+            let trace = c.intersection(&gamma_b);
+            // 𝒵_B membership via the cylinder test over claimed structures.
+            for u in &b {
+                if let Some((view, structure)) = knowledge.get(&u) {
+                    if !structure.contains(&trace.intersection(view.nodes())) {
+                        continue 'cuts;
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_graph::ViewKind;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    /// Diamond D=0, relays 1,2, R=3 with ad hoc views and 𝒵 = {{1}}.
+    fn setup(z_sets: &[&[u32]]) -> (ReceiverState, Graph, AdversaryStructure) {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        let z = AdversaryStructure::from_sets(
+            z_sets
+                .iter()
+                .map(|s| s.iter().copied().collect::<NodeSet>()),
+        );
+        let me = NodeId::new(3);
+        let my_view = ViewKind::AdHoc.view_of(&g, me);
+        let my_structure = z.restrict_sets(my_view.nodes());
+        (
+            ReceiverState::new(me, 0.into(), my_view, my_structure),
+            g,
+            z,
+        )
+    }
+
+    fn feed_honest(
+        state: &mut ReceiverState,
+        g: &Graph,
+        z: &AdversaryStructure,
+        x: Value,
+        skip: &NodeSet,
+    ) {
+        // Claims from every non-receiver node not in `skip`.
+        for u in g.nodes() {
+            if u == state.me || skip.contains(u) {
+                continue;
+            }
+            let view = ViewKind::AdHoc.view_of(g, u);
+            let structure = z.restrict_sets(view.nodes());
+            state.ingest_claim(u, view, structure);
+        }
+        // Trails through honest relays.
+        for relay in [1u32, 2] {
+            if !skip.contains(relay.into()) {
+                state.ingest_value(x, &[0.into(), relay.into()]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_honest_information_decides() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+        assert!(!state.truncated);
+    }
+
+    #[test]
+    fn silent_tolerated_corruption_still_decides() {
+        // Node 1 silent (𝒵 = {{1}}): G_M misses 1, the only cover candidate
+        // is {2} which is not admissible for B = {3}.
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &set(&[1]));
+        assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+    }
+
+    #[test]
+    fn cover_blocks_decision_when_both_relays_are_suspect() {
+        // 𝒵 = {{1},{2}}: with node 1 silent, C = {2} is an adversary cover
+        // of the received M — R must abstain.
+        let (mut state, g, z) = setup(&[&[1], &[2]]);
+        feed_honest(&mut state, &g, &z, 7, &set(&[1]));
+        assert_eq!(state.decide(&DecisionConfig::default()), None);
+    }
+
+    #[test]
+    fn exclusion_recovers_fullness_when_a_path_is_missing() {
+        // All claims arrive but only the trail through 2 carries the value:
+        // the M containing node 1's claim is not full, but the valid M that
+        // *excludes* node 1 is full and cover-free ({2} ∉ 𝒵_R), so R decides
+        // — the subset semantics of the full-message-set rule.
+        let (mut state, g, z) = setup(&[&[1]]);
+        for u in g.nodes() {
+            if u == state.me {
+                continue;
+            }
+            let view = ViewKind::AdHoc.view_of(&g, u);
+            let structure = z.restrict_sets(view.nodes());
+            state.ingest_claim(u, view, structure);
+        }
+        state.ingest_value(7, &[0.into(), 2.into()]);
+        assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+    }
+
+    #[test]
+    fn missing_path_blocks_when_exclusion_would_leave_a_cover() {
+        // Same shape but 𝒵 = {{1},{2}}: excluding 1 leaves the cover {2},
+        // keeping 1 breaks fullness — R must abstain either way.
+        let (mut state, g, z) = setup(&[&[1], &[2]]);
+        for u in g.nodes() {
+            if u == state.me {
+                continue;
+            }
+            let view = ViewKind::AdHoc.view_of(&g, u);
+            let structure = z.restrict_sets(view.nodes());
+            state.ingest_claim(u, view, structure);
+        }
+        state.ingest_value(7, &[0.into(), 2.into()]);
+        assert_eq!(state.decide(&DecisionConfig::default()), None);
+    }
+
+    #[test]
+    fn conflicting_values_on_all_paths_block_decision() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        // Corrupted 1 also injected value 9 over its trail: the 9-set is not
+        // full (missing the path through 2), the 7-set is full and decides.
+        state.ingest_value(9, &[0.into(), 1.into()]);
+        assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+    }
+
+    #[test]
+    fn malformed_claims_are_dropped() {
+        let (mut state, _, _) = setup(&[&[1]]);
+        let mut bad_view = Graph::new();
+        bad_view.add_edge(0.into(), 2.into()); // does not contain claimant 1
+        state.ingest_claim(1.into(), bad_view, AdversaryStructure::trivial());
+        assert_eq!(state.malformed_claims, 1);
+        assert_eq!(state.claim_count(1.into()), 0);
+
+        let mut view = Graph::new();
+        view.add_edge(1.into(), 0.into());
+        let escaping = AdversaryStructure::from_sets([set(&[9])]);
+        state.ingest_claim(1.into(), view, escaping);
+        assert_eq!(state.malformed_claims, 2);
+    }
+
+    #[test]
+    fn conflicting_claims_enumerate_both_options() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        // A second, fake claim about node 2 with an absurd view: the honest
+        // selection still exists and decides.
+        let mut fake = Graph::new();
+        fake.add_edge(2.into(), 9.into());
+        fake.add_node(2.into());
+        state.ingest_claim(2.into(), fake, AdversaryStructure::trivial());
+        assert_eq!(state.claim_count(2.into()), 2);
+        assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+    }
+
+    #[test]
+    fn exhausted_selection_budget_sets_truncated() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        let cfg = DecisionConfig {
+            max_selections: 0,
+            ..DecisionConfig::default()
+        };
+        assert_eq!(state.decide(&cfg), None);
+        assert!(state.truncated);
+    }
+
+    #[test]
+    fn cover_budget_forces_conservative_abstention() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        let cfg = DecisionConfig {
+            max_cover_candidates: 0,
+            ..DecisionConfig::default()
+        };
+        // Unable to verify the absence of a cover, R abstains (safely).
+        assert_eq!(state.decide(&cfg), None);
+        assert!(state.truncated);
+    }
+
+    use rmt_graph::Graph;
+}

@@ -1,0 +1,14 @@
+//! The self-reducibility of RMT (Section 5, Theorem 9) and poly-time
+//! uniqueness of Z-CPA (Corollary 10).
+//!
+//! * [`star`] — the 𝒢′ family of Figure 1 and the protocol Π solving RMT on
+//!   it.
+//! * [`oracle`] — the Decision Protocol: Z-CPA's membership check
+//!   `N ∉ 𝒵_v` answered by simulating the coupled runs `e₀ˡ / e₁ˡ` of Π,
+//!   making Z-CPA-with-Π a fully polynomial algorithm whenever Π is.
+
+pub mod oracle;
+pub mod star;
+
+pub use oracle::PiSimulationOracle;
+pub use star::{PiStar, StarInstance};

@@ -1,0 +1,267 @@
+//! The family 𝒢′ of Figure 1 and the protocol Π for it.
+//!
+//! A 𝒢′ instance has a dealer `D′`, a middle set `A(G′)` and a receiver
+//! `R′`; the only edges connect every middle node to both endpoints. In the
+//! self-reduction, a node `v` running Z-CPA derives such an instance from
+//! its own neighbourhood: `A(G′)` is the set of neighbours that relayed
+//! values, `𝒵′ = 𝒵_v` (restricted to the middle set), and `R′ = v`.
+//!
+//! The protocol Π here is the natural 2-round RMT protocol on stars: the
+//! dealer sends its value to the middle, the middle relays, and the
+//! receiver decides on `x` iff the class of middle nodes that relayed `x`
+//! is **not** admissible in 𝒵′ (so it contains an honest witness). Π is
+//! trivially fully polynomial — which by Theorem 9 is exactly what makes
+//! Z-CPA-with-Π fully polynomial on the corresponding promise family.
+
+use std::collections::BTreeMap;
+
+use rmt_adversary::AdversaryStructure;
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{Envelope, NodeContext, Protocol};
+
+use crate::protocols::Value;
+
+/// A 𝒢′ (Figure 1) instance: `D′ — A(G′) — R′` with structure 𝒵′ over the
+/// middle set.
+#[derive(Clone, Debug)]
+pub struct StarInstance {
+    graph: Graph,
+    dealer: NodeId,
+    middle: NodeSet,
+    receiver: NodeId,
+    structure: AdversaryStructure,
+}
+
+impl StarInstance {
+    /// Builds the instance over an explicit middle set, keeping the middle
+    /// nodes' identities and allocating fresh ids for `D′` and `R′`.
+    ///
+    /// `structure` is clipped to the middle set (the paper's footnote 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `middle` is empty.
+    pub fn new(middle: NodeSet, structure: &AdversaryStructure) -> Self {
+        assert!(!middle.is_empty(), "a star instance needs a middle set");
+        let first_free = middle.last().expect("non-empty").raw() + 1;
+        let dealer = NodeId::new(first_free);
+        let receiver = NodeId::new(first_free + 1);
+        let mut graph = Graph::new();
+        for m in &middle {
+            graph.add_edge(dealer, m);
+            graph.add_edge(m, receiver);
+        }
+        StarInstance {
+            graph,
+            dealer,
+            middle: middle.clone(),
+            receiver,
+            structure: structure.restrict_sets(&middle),
+        }
+    }
+
+    /// The star graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The dealer `D′`.
+    pub fn dealer(&self) -> NodeId {
+        self.dealer
+    }
+
+    /// The middle set `A(G′)`.
+    pub fn middle(&self) -> &NodeSet {
+        &self.middle
+    }
+
+    /// The receiver `R′`.
+    pub fn receiver(&self) -> NodeId {
+        self.receiver
+    }
+
+    /// The structure 𝒵′ (over the middle set).
+    pub fn structure(&self) -> &AdversaryStructure {
+        &self.structure
+    }
+
+    /// Whether RMT is solvable on this instance — i.e. whether it belongs
+    /// to the promise family 𝒢′ of Figure 1 (no RMT 𝒵-pp cut).
+    ///
+    /// On a star the only D′–R′ cut is the whole middle set, so a cut
+    /// exists iff some partition `A = C₁ ∪ C₂` has `C₁ ∈ 𝒵′` and
+    /// `C₂ ∈ 𝒵′` (the receiver sees the whole middle). Equivalently:
+    /// solvable iff `A ∖ Z ∉ 𝒵′` for every maximal `Z ∈ 𝒵′`.
+    pub fn solvable(&self) -> bool {
+        if self.structure.is_trivial() {
+            return true;
+        }
+        self.structure
+            .maximal_sets()
+            .iter()
+            .all(|z| !self.structure.contains(&self.middle.difference(z)))
+    }
+
+    /// Builds node `v`'s Π instance for this star (see [`PiStar`]).
+    pub fn pi_node(&self, v: NodeId, input: Value) -> PiStar {
+        PiStar {
+            id: v,
+            dealer: self.dealer,
+            receiver: self.receiver,
+            structure: self.structure.clone(),
+            input: (v == self.dealer).then_some(input),
+            decision: (v == self.dealer).then_some(input),
+            relayed: false,
+            local_steps: 0,
+        }
+    }
+}
+
+/// Π — the natural RMT protocol on 𝒢′ instances.
+///
+/// Fully polynomial: two rounds, one message per edge, and local
+/// computation linear in the middle set times |𝒵′| (tracked in
+/// [`PiStar::local_steps`] so the self-reduction can enforce the paper's
+/// explicit bound B on subroutine computations).
+#[derive(Clone, Debug)]
+pub struct PiStar {
+    id: NodeId,
+    dealer: NodeId,
+    receiver: NodeId,
+    structure: AdversaryStructure,
+    input: Option<Value>,
+    decision: Option<Value>,
+    relayed: bool,
+    /// Local computation steps spent in decision checks.
+    pub local_steps: u64,
+}
+
+impl Protocol for PiStar {
+    type Payload = Value;
+    type Decision = Value;
+
+    fn start(&mut self, ctx: &NodeContext) -> Vec<(NodeId, Value)> {
+        match self.input {
+            Some(x) if self.id == self.dealer => ctx.neighbors.iter().map(|n| (n, x)).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_round(&mut self, _ctx: &NodeContext, inbox: &[Envelope<Value>]) -> Vec<(NodeId, Value)> {
+        if self.id == self.dealer || self.decision.is_some() {
+            return Vec::new();
+        }
+        if self.id == self.receiver {
+            // Accumulate one value per middle sender; decide when a class
+            // escapes 𝒵′.
+            let mut classes: BTreeMap<Value, NodeSet> = BTreeMap::new();
+            for env in inbox {
+                classes.entry(env.payload).or_default().insert(env.from);
+            }
+            for (x, class) in &classes {
+                self.local_steps += self.structure.maximal_sets().len().max(1) as u64;
+                if !self.structure.contains(class) {
+                    self.decision = Some(*x);
+                    break;
+                }
+            }
+            return Vec::new();
+        }
+        // Middle node: relay the dealer's value once.
+        if !self.relayed {
+            if let Some(env) = inbox.iter().find(|e| e.from == self.dealer) {
+                self.relayed = true;
+                self.decision = Some(env.payload);
+                return vec![(self.receiver, env.payload)];
+            }
+        }
+        Vec::new()
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.decision.is_some() || self.relayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::{Runner, SilentAdversary};
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn star(middle: &[u32], z_sets: &[&[u32]]) -> StarInstance {
+        let z = AdversaryStructure::from_sets(
+            z_sets
+                .iter()
+                .map(|s| s.iter().copied().collect::<NodeSet>()),
+        );
+        StarInstance::new(middle.iter().copied().collect(), &z)
+    }
+
+    #[test]
+    fn construction_matches_figure_1() {
+        let s = star(&[1, 2, 3], &[&[1]]);
+        assert_eq!(s.graph().node_count(), 5);
+        assert_eq!(s.graph().edge_count(), 6);
+        assert_eq!(s.graph().degree(s.dealer()), 3);
+        assert_eq!(s.graph().degree(s.receiver()), 3);
+        assert!(!s.graph().has_edge(s.dealer(), s.receiver()));
+    }
+
+    #[test]
+    fn solvability_is_the_partition_condition() {
+        // 𝒵′ = {{1}}: complement {2,3} ∉ 𝒵′ → solvable.
+        assert!(star(&[1, 2, 3], &[&[1]]).solvable());
+        // 𝒵′ = {{1},{2,3}}: partition {1} ∪ {2,3} both admissible → not.
+        assert!(!star(&[1, 2, 3], &[&[1], &[2, 3]]).solvable());
+        // Trivial structure: always solvable.
+        assert!(star(&[1], &[]).solvable());
+    }
+
+    #[test]
+    fn pi_delivers_on_solvable_stars_under_silence() {
+        let s = star(&[1, 2, 3], &[&[1]]);
+        let out = Runner::new(
+            s.graph().clone(),
+            |v| s.pi_node(v, 9),
+            SilentAdversary::new(set(&[1])),
+        )
+        .run();
+        // Honest class {2,3} ∉ 𝒵′ certifies.
+        assert_eq!(out.decision(s.receiver()), Some(9));
+    }
+
+    #[test]
+    fn pi_abstains_when_the_honest_class_is_admissible() {
+        let s = star(&[1, 2], &[&[1], &[2]]);
+        assert!(!s.solvable());
+        let out = Runner::new(
+            s.graph().clone(),
+            |v| s.pi_node(v, 9),
+            SilentAdversary::new(set(&[1])),
+        )
+        .run();
+        assert_eq!(out.decision(s.receiver()), None);
+    }
+
+    #[test]
+    fn pi_counts_local_steps() {
+        let s = star(&[1, 2], &[&[1]]);
+        let out = Runner::new(
+            s.graph().clone(),
+            |v| s.pi_node(v, 3),
+            SilentAdversary::new(NodeSet::new()),
+        )
+        .run();
+        let r = out.protocol(s.receiver()).unwrap();
+        assert!(r.local_steps > 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Randomized instance samplers shared by tests, property tests and the
+//! experiment harness.
+//!
+//! Everything here takes an explicit RNG (see `rmt_graph::generators::seeded`)
+//! so experiments are reproducible.
+
+use rand::Rng;
+use rmt_adversary::AdversaryStructure;
+use rmt_graph::{generators, Graph, ViewKind};
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::instance::Instance;
+
+/// A random monotone adversary structure over `universe`: up to `max_sets`
+/// maximal sets, each of up to `max_size` nodes.
+pub fn random_structure(
+    universe: &NodeSet,
+    max_sets: usize,
+    max_size: usize,
+    rng: &mut impl Rng,
+) -> AdversaryStructure {
+    let pool: Vec<NodeId> = universe.iter().collect();
+    let n_sets = rng.random_range(0..=max_sets);
+    AdversaryStructure::from_sets((0..n_sets).map(|_| {
+        let size = rng.random_range(0..=max_size.min(pool.len()));
+        (0..size)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect::<NodeSet>()
+    }))
+}
+
+/// A random connected RMT instance: G(n, p) forced connected, a random
+/// structure (avoiding making D or R all-powerful is left to
+/// [`Instance::worst_case_corruptions`]), dealer 0, receiver n−1.
+pub fn random_instance(
+    n: usize,
+    p: f64,
+    views: ViewKind,
+    max_sets: usize,
+    max_size: usize,
+    rng: &mut impl Rng,
+) -> Instance {
+    let g = generators::gnp_connected(n, p, rng);
+    let z = random_structure(g.nodes(), max_sets, max_size, rng);
+    let d = NodeId::new(0);
+    let r = NodeId::new(n as u32 - 1);
+    Instance::new(g, z, views, d, r).expect("sampler produces valid instances")
+}
+
+/// A random *non-adjacent-endpoints* instance (the interesting case for the
+/// cut characterizations): resamples until D and R are not neighbours.
+pub fn random_instance_nonadjacent(
+    n: usize,
+    p: f64,
+    views: ViewKind,
+    max_sets: usize,
+    max_size: usize,
+    rng: &mut impl Rng,
+) -> Instance {
+    loop {
+        let inst = random_instance(n, p, views, max_sets, max_size, rng);
+        if !inst.graph().has_edge(inst.dealer(), inst.receiver()) {
+            return inst;
+        }
+    }
+}
+
+/// A threshold instance on an explicit graph: global threshold `t`, given
+/// views.
+pub fn threshold_instance(g: Graph, t: usize, views: ViewKind, d: u32, r: u32) -> Instance {
+    let z = rmt_adversary::threshold(g.nodes(), t);
+    Instance::new(g, z, views, d.into(), r.into()).expect("valid threshold instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_structure_stays_in_universe() {
+        let mut rng = generators::seeded(5);
+        let u: NodeSet = [0u32, 2, 4, 6].into_iter().collect();
+        for _ in 0..50 {
+            let z = random_structure(&u, 4, 3, &mut rng);
+            assert!(z.invariant_holds());
+            for m in z.maximal_sets() {
+                assert!(m.is_subset(&u));
+                assert!(m.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn random_instances_are_valid_and_connected() {
+        let mut rng = generators::seeded(6);
+        for _ in 0..20 {
+            let inst = random_instance(8, 0.3, ViewKind::AdHoc, 3, 2, &mut rng);
+            assert!(inst.endpoints_connected());
+            assert_eq!(inst.graph().node_count(), 8);
+        }
+    }
+
+    #[test]
+    fn nonadjacent_sampler_avoids_the_edge() {
+        let mut rng = generators::seeded(7);
+        for _ in 0..20 {
+            let inst = random_instance_nonadjacent(7, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+            assert!(!inst.graph().has_edge(inst.dealer(), inst.receiver()));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Articulation points and bridges (Tarjan's lowpoint algorithm).
+//!
+//! Cheap structural facts the feasibility analyses use as pre-filters: a
+//! corruptible articulation point between D and R is already a singleton
+//! RMT-cut, with no exponential search needed.
+
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::graph::Graph;
+
+/// The articulation points (cut vertices) of `g`: nodes whose removal
+/// increases the number of connected components.
+///
+/// # Example
+///
+/// ```
+/// use rmt_graph::{connectivity, generators};
+///
+/// let g = generators::path_graph(4); // 0-1-2-3
+/// let cuts = connectivity::articulation_points(&g);
+/// assert!(cuts.contains(1.into()) && cuts.contains(2.into()));
+/// assert!(!cuts.contains(0.into()));
+/// assert!(connectivity::articulation_points(&generators::cycle(5)).is_empty());
+/// ```
+pub fn articulation_points(g: &Graph) -> NodeSet {
+    lowpoint(g).0
+}
+
+/// The bridges of `g`: edges whose removal disconnects their endpoints.
+pub fn bridges(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    lowpoint(g).1
+}
+
+/// Iterative Tarjan lowpoint computation (explicit stack: experiment graphs
+/// can be deep paths).
+fn lowpoint(g: &Graph) -> (NodeSet, Vec<(NodeId, NodeId)>) {
+    let size = g.nodes().last().map_or(0, |v| v.index() + 1);
+    let mut disc = vec![0u32; size]; // 0 = unvisited; otherwise timestamp
+    let mut low = vec![0u32; size];
+    let mut parent: Vec<Option<NodeId>> = vec![None; size];
+    let mut time = 0u32;
+    let mut points = NodeSet::new();
+    let mut bridges = Vec::new();
+
+    for root in g.nodes() {
+        if disc[root.index()] != 0 {
+            continue;
+        }
+        // Frame: (node, neighbour iterator position).
+        let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        time += 1;
+        disc[root.index()] = time;
+        low[root.index()] = time;
+        stack.push((root, g.neighbors(root).to_vec(), 0));
+        let mut root_children = 0;
+
+        while let Some((v, nbrs, idx)) = stack.last_mut() {
+            if *idx < nbrs.len() {
+                let u = nbrs[*idx];
+                *idx += 1;
+                let v = *v;
+                if disc[u.index()] == 0 {
+                    parent[u.index()] = Some(v);
+                    if v == root {
+                        root_children += 1;
+                    }
+                    time += 1;
+                    disc[u.index()] = time;
+                    low[u.index()] = time;
+                    stack.push((u, g.neighbors(u).to_vec(), 0));
+                } else if parent[v.index()] != Some(u) {
+                    low[v.index()] = low[v.index()].min(disc[u.index()]);
+                }
+            } else {
+                let (v, _, _) = stack.pop().expect("frame exists");
+                if let Some(p) = parent[v.index()] {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        bridges.push((p.min(v), p.max(v)));
+                    }
+                    if p != root && low[v.index()] >= disc[p.index()] {
+                        points.insert(p);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            points.insert(root);
+        }
+    }
+    (points, bridges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    /// Brute-force articulation check: removal increases component count.
+    fn brute_points(g: &Graph) -> NodeSet {
+        let base = traversal::components(g).len();
+        g.nodes()
+            .iter()
+            .filter(|&v| {
+                let without = g.without_nodes(&NodeSet::singleton(v));
+                traversal::components(&without).len() > base || (g.degree(v) == 0 && false)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = generators::seeded(777);
+        for trial in 0..50 {
+            let n = 4 + trial % 8;
+            let g = generators::gnp(n, 0.3, &mut rng);
+            assert_eq!(
+                articulation_points(&g),
+                brute_points(&g),
+                "trial {trial}: {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bridges_on_known_graphs() {
+        let g = generators::path_graph(4);
+        assert_eq!(bridges(&g).len(), 3);
+        assert!(bridges(&generators::cycle(5)).is_empty());
+        // Two triangles joined by one edge: exactly that edge is a bridge.
+        let mut g = Graph::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            g.add_edge(u.into(), v.into());
+        }
+        assert_eq!(bridges(&g), vec![(2.into(), 3.into())]);
+        let pts = articulation_points(&g);
+        assert!(pts.contains(2.into()) && pts.contains(3.into()));
+    }
+
+    #[test]
+    fn every_bridge_disconnects_its_endpoints() {
+        let mut rng = generators::seeded(778);
+        for _ in 0..20 {
+            let g = generators::gnp_connected(9, 0.3, &mut rng);
+            for (u, v) in bridges(&g) {
+                let mut cut = g.clone();
+                cut.remove_edge(u, v);
+                assert!(!traversal::connected_avoiding(&cut, u, v, &NodeSet::new()));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_and_tiny_graphs() {
+        assert!(articulation_points(&Graph::new()).is_empty());
+        let mut g = Graph::new();
+        g.add_node(3.into());
+        assert!(articulation_points(&g).is_empty());
+        let g = generators::path_graph(2);
+        assert!(articulation_points(&g).is_empty());
+        assert_eq!(bridges(&g).len(), 1);
+    }
+}

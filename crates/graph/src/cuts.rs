@@ -1,0 +1,270 @@
+//! Vertex cuts separating a dealer from a receiver.
+//!
+//! All cut notions in the paper are *node* cuts that exclude the dealer (and
+//! here also the receiver): `C ⊆ V ∖ {D, R}` is a **D–R cut** iff removing
+//! `C` disconnects `D` from `R`. This module provides the predicate, exact
+//! enumeration (for the exhaustive characterizations on small instances) and
+//! minimum cuts / vertex connectivity via unit-capacity max-flow (Menger).
+
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::graph::Graph;
+use crate::traversal;
+
+/// Returns `true` if `c` is a D–R cut: it avoids both endpoints and removing
+/// it disconnects `d` from `r`.
+///
+/// If `d` and `r` are adjacent no vertex set is a cut.
+pub fn is_dr_cut(g: &Graph, d: NodeId, r: NodeId, c: &NodeSet) -> bool {
+    !c.contains(d) && !c.contains(r) && !traversal::connected_avoiding(g, d, r, c)
+}
+
+/// Enumerates every D–R cut (all subsets of `V ∖ {D,R}` that separate).
+///
+/// Exponential by nature; intended for the exact characterizations on small
+/// instances (`n ≲ 22`).
+pub fn dr_cuts<'a>(g: &'a Graph, d: NodeId, r: NodeId) -> impl Iterator<Item = NodeSet> + 'a {
+    let mut candidates = g.nodes().clone();
+    candidates.remove(d);
+    candidates.remove(r);
+    candidates
+        .subsets()
+        .filter(move |c| !traversal::connected_avoiding(g, d, r, c))
+}
+
+/// Enumerates the *minimal* D–R cuts (no proper subset is a cut).
+pub fn minimal_dr_cuts<'a>(
+    g: &'a Graph,
+    d: NodeId,
+    r: NodeId,
+) -> impl Iterator<Item = NodeSet> + 'a {
+    dr_cuts(g, d, r).filter(move |c| {
+        c.iter().all(|v| {
+            let mut smaller = c.clone();
+            smaller.remove(v);
+            traversal::connected_avoiding(g, d, r, &smaller)
+        })
+    })
+}
+
+/// The D–R vertex connectivity: the maximum number of internally disjoint
+/// D–R paths, equal (Menger) to the minimum D–R cut size.
+///
+/// Returns `None` when `d` and `r` are adjacent or equal (no cut exists;
+/// connectivity is unbounded for our purposes), and `Some(0)` when they are
+/// in different components.
+pub fn vertex_connectivity(g: &Graph, d: NodeId, r: NodeId) -> Option<usize> {
+    if d == r || g.has_edge(d, r) {
+        return None;
+    }
+    Some(MaxFlow::new(g, d, r).run().0)
+}
+
+/// A minimum D–R vertex cut, or `None` when `d` and `r` are adjacent or
+/// equal.
+///
+/// When `d` and `r` are disconnected the empty set is returned (it is a
+/// valid, vacuous cut).
+pub fn min_vertex_cut(g: &Graph, d: NodeId, r: NodeId) -> Option<NodeSet> {
+    if d == r || g.has_edge(d, r) {
+        return None;
+    }
+    Some(MaxFlow::new(g, d, r).run().1)
+}
+
+const INF: u32 = u32::MAX / 2;
+
+/// Unit-capacity max-flow on the node-split graph (Even's construction):
+/// every node `v ∉ {d, r}` becomes an arc `v_in → v_out` of capacity 1,
+/// every edge `{u, v}` becomes arcs of capacity ∞ between the corresponding
+/// sides. Max-flow value = vertex connectivity; the min cut consists of the
+/// split arcs crossing the residual-reachable frontier.
+struct MaxFlow {
+    /// Arc list: (from, to, capacity); arcs come in residual pairs `2i, 2i+1`.
+    arcs: Vec<(usize, usize, u32)>,
+    /// Outgoing arc indices per vertex of the split graph.
+    out: Vec<Vec<usize>>,
+    source: usize,
+    sink: usize,
+    /// Split-arc index per original node id (for cut extraction).
+    split_arc: Vec<Option<usize>>,
+}
+
+impl MaxFlow {
+    fn new(g: &Graph, d: NodeId, r: NodeId) -> Self {
+        let size = g.nodes().last().map_or(0, |v| v.index() + 1);
+        let vert = |v: NodeId, side: usize| v.index() * 2 + side; // 0 = in, 1 = out
+        let mut mf = MaxFlow {
+            arcs: Vec::new(),
+            out: vec![Vec::new(); size * 2],
+            source: vert(d, 1),
+            sink: vert(r, 0),
+            split_arc: vec![None; size],
+        };
+        for v in g.nodes() {
+            if v != d && v != r {
+                let idx = mf.add_arc(vert(v, 0), vert(v, 1), 1);
+                mf.split_arc[v.index()] = Some(idx);
+            } else {
+                // d and r are not split: identify their sides.
+                mf.add_arc(vert(v, 0), vert(v, 1), INF);
+                mf.add_arc(vert(v, 1), vert(v, 0), INF);
+            }
+        }
+        for (u, v) in g.edges() {
+            mf.add_arc(vert(u, 1), vert(v, 0), INF);
+            mf.add_arc(vert(v, 1), vert(u, 0), INF);
+        }
+        mf
+    }
+
+    fn add_arc(&mut self, from: usize, to: usize, cap: u32) -> usize {
+        let idx = self.arcs.len();
+        self.arcs.push((from, to, cap));
+        self.arcs.push((to, from, 0));
+        self.out[from].push(idx);
+        self.out[to].push(idx + 1);
+        idx
+    }
+
+    /// Returns (max-flow value, min vertex cut as original node ids).
+    fn run(mut self) -> (usize, NodeSet) {
+        let mut flow = 0;
+        while let Some(path_arcs) = self.bfs_augmenting_path() {
+            for &a in &path_arcs {
+                self.arcs[a].2 -= 1;
+                self.arcs[a ^ 1].2 += 1;
+            }
+            flow += 1;
+        }
+        // Residual-reachable side of the source determines the cut.
+        let reach = self.residual_reachable();
+        let mut cut = NodeSet::new();
+        for (v, arc) in self.split_arc.iter().enumerate() {
+            if let Some(a) = *arc {
+                let (from, to, _) = self.arcs[a];
+                if reach[from] && !reach[to] {
+                    cut.insert(NodeId::new(v as u32));
+                }
+            }
+        }
+        (flow, cut)
+    }
+
+    fn bfs_augmenting_path(&self) -> Option<Vec<usize>> {
+        let mut prev_arc: Vec<Option<usize>> = vec![None; self.out.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.source);
+        let mut seen = vec![false; self.out.len()];
+        seen[self.source] = true;
+        while let Some(v) = queue.pop_front() {
+            if v == self.sink {
+                let mut path = Vec::new();
+                let mut cur = self.sink;
+                while cur != self.source {
+                    let a = prev_arc[cur].expect("path reconstruction");
+                    path.push(a);
+                    cur = self.arcs[a].0;
+                }
+                return Some(path);
+            }
+            for &a in &self.out[v] {
+                let (_, to, cap) = self.arcs[a];
+                if cap > 0 && !seen[to] {
+                    seen[to] = true;
+                    prev_arc[to] = Some(a);
+                    queue.push_back(to);
+                }
+            }
+        }
+        None
+    }
+
+    fn residual_reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.out.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.source] = true;
+        queue.push_back(self.source);
+        while let Some(v) = queue.pop_front() {
+            for &a in &self.out[v] {
+                let (_, to, cap) = self.arcs[a];
+                if cap > 0 && !seen[to] {
+                    seen[to] = true;
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn cut_predicate_on_a_path() {
+        let g = generators::path_graph(4); // 0-1-2-3
+        assert!(is_dr_cut(&g, 0.into(), 3.into(), &set(&[1])));
+        assert!(is_dr_cut(&g, 0.into(), 3.into(), &set(&[2])));
+        assert!(!is_dr_cut(&g, 0.into(), 3.into(), &NodeSet::new()));
+        // Sets touching the endpoints are not cuts by definition.
+        assert!(!is_dr_cut(&g, 0.into(), 3.into(), &set(&[0, 1])));
+    }
+
+    #[test]
+    fn cut_enumeration_on_a_cycle() {
+        let g = generators::cycle(5); // 0-1-2-3-4-0, D=0 R=2
+        let cuts: Vec<NodeSet> = dr_cuts(&g, 0.into(), 2.into()).collect();
+        // Cuts must contain 1 and one of {3,4}: {1,3},{1,4},{1,3,4}.
+        assert_eq!(cuts.len(), 3);
+        assert!(cuts.iter().all(|c| c.contains(1.into())));
+        let minimal: Vec<NodeSet> = minimal_dr_cuts(&g, 0.into(), 2.into()).collect();
+        assert_eq!(minimal.len(), 2);
+        assert!(minimal.contains(&set(&[1, 3])));
+        assert!(minimal.contains(&set(&[1, 4])));
+    }
+
+    #[test]
+    fn connectivity_matches_menger_on_cycle() {
+        let g = generators::cycle(6);
+        assert_eq!(vertex_connectivity(&g, 0.into(), 3.into()), Some(2));
+        let cut = min_vertex_cut(&g, 0.into(), 3.into()).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(is_dr_cut(&g, 0.into(), 3.into(), &cut));
+    }
+
+    #[test]
+    fn adjacent_endpoints_have_no_cut() {
+        let g = generators::complete(4);
+        assert_eq!(vertex_connectivity(&g, 0.into(), 1.into()), None);
+        assert_eq!(min_vertex_cut(&g, 0.into(), 1.into()), None);
+    }
+
+    #[test]
+    fn disconnected_endpoints_have_empty_cut() {
+        let mut g = generators::path_graph(2);
+        g.add_edge(3.into(), 4.into());
+        assert_eq!(vertex_connectivity(&g, 0.into(), 4.into()), Some(0));
+        assert_eq!(min_vertex_cut(&g, 0.into(), 4.into()), Some(NodeSet::new()));
+    }
+
+    #[test]
+    fn min_cut_is_a_cut_of_minimum_size() {
+        let g = generators::grid(3, 3); // 3x3 grid, corners 0 and 8
+        let d = NodeId::new(0);
+        let r = NodeId::new(8);
+        let k = vertex_connectivity(&g, d, r).unwrap();
+        assert_eq!(k, 2);
+        let cut = min_vertex_cut(&g, d, r).unwrap();
+        assert_eq!(cut.len(), k);
+        assert!(is_dr_cut(&g, d, r, &cut));
+        // No smaller cut exists.
+        assert!(minimal_dr_cuts(&g, d, r).all(|c| c.len() >= k));
+    }
+}

@@ -1,0 +1,51 @@
+//! Undirected graphs, partial-knowledge views, cuts, paths and generators.
+//!
+//! This crate is the topology substrate of the `rmt` workspace. A [`Graph`]
+//! carries an explicit *present node set* over a shared [`NodeId`] space, so
+//! subgraphs — in particular the views γ(v) of the Partial Knowledge Model —
+//! keep the original node identities and can be unioned to form joint views
+//! γ(S) exactly as in the paper.
+//!
+//! Provided algorithms:
+//!
+//! * traversal: BFS reachability (optionally avoiding a blocked set),
+//!   connected components, distances ([`traversal`]);
+//! * cuts: D–R vertex-cut predicates and enumeration, minimum vertex cuts and
+//!   vertex connectivity via unit-capacity max-flow ([`cuts`]);
+//! * paths: exhaustive simple D–R path enumeration with budgets ([`paths`]);
+//! * views: full-knowledge, ad hoc (star) and radius-k view functions
+//!   ([`views`]);
+//! * generators: deterministic (seeded) instance families used throughout the
+//!   experiments, including the paper's Figure-1 star family ([`generators`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rmt_graph::Graph;
+//! use rmt_sets::NodeSet;
+//!
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge(0.into(), 1.into());
+//! g.add_edge(1.into(), 2.into());
+//! g.add_edge(2.into(), 3.into());
+//! assert!(rmt_graph::traversal::is_connected(&g));
+//! let blocked = NodeSet::singleton(1.into());
+//! assert!(rmt_graph::cuts::is_dr_cut(&g, 0.into(), 3.into(), &blocked));
+//! ```
+//!
+//! [`NodeId`]: rmt_sets::NodeId
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod cuts;
+pub mod generators;
+mod graph;
+pub mod paths;
+pub mod separators;
+pub mod traversal;
+pub mod views;
+
+pub use graph::Graph;
+pub use views::{ViewAssignment, ViewKind};

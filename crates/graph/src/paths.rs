@@ -1,0 +1,165 @@
+//! Simple-path enumeration.
+//!
+//! RMT-PKA propagates the dealer's value along *every* simple path (message
+//! trails), so its analysis and its decision subroutine need exhaustive D–R
+//! path enumeration. The number of simple paths is exponential in general;
+//! every function here takes an explicit budget so callers fail loudly
+//! instead of silently truncating.
+
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::graph::Graph;
+
+/// Error returned when a path enumeration exceeds its budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathBudgetExceeded {
+    /// The budget that was exceeded.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for PathBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simple-path enumeration exceeded budget of {}",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for PathBudgetExceeded {}
+
+/// Enumerates all simple paths from `from` to `to`, in DFS order.
+///
+/// Each path is the full node sequence `from … to`.
+///
+/// # Errors
+///
+/// Returns [`PathBudgetExceeded`] if more than `budget` paths exist.
+pub fn simple_paths(
+    g: &Graph,
+    from: NodeId,
+    to: NodeId,
+    budget: usize,
+) -> Result<Vec<Vec<NodeId>>, PathBudgetExceeded> {
+    let mut out = Vec::new();
+    if !g.contains_node(from) || !g.contains_node(to) {
+        return Ok(out);
+    }
+    let mut stack = vec![from];
+    let mut on_path = NodeSet::singleton(from);
+    // Iterator stack: which neighbours remain to try at each depth.
+    let mut iters: Vec<Vec<NodeId>> = vec![g.neighbors(from).to_vec()];
+    while let Some(frame) = iters.last_mut() {
+        match frame.pop() {
+            Some(next) => {
+                if on_path.contains(next) {
+                    continue;
+                }
+                if next == to {
+                    let mut path = stack.clone();
+                    path.push(to);
+                    out.push(path);
+                    if out.len() > budget {
+                        return Err(PathBudgetExceeded { budget });
+                    }
+                    continue;
+                }
+                stack.push(next);
+                on_path.insert(next);
+                iters.push(g.neighbors(next).to_vec());
+            }
+            None => {
+                iters.pop();
+                if let Some(v) = stack.pop() {
+                    on_path.remove(v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Counts the simple paths from `from` to `to` up to `budget`.
+///
+/// # Errors
+///
+/// Returns [`PathBudgetExceeded`] if the count exceeds `budget`.
+pub fn count_simple_paths(
+    g: &Graph,
+    from: NodeId,
+    to: NodeId,
+    budget: usize,
+) -> Result<usize, PathBudgetExceeded> {
+    simple_paths(g, from, to, budget).map(|p| p.len())
+}
+
+/// Returns `true` if `path` is a simple path in `g` (length ≥ 1, distinct
+/// nodes, consecutive nodes adjacent).
+pub fn is_simple_path(g: &Graph, path: &[NodeId]) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let mut seen = NodeSet::new();
+    for v in path {
+        if !g.contains_node(*v) || !seen.insert(*v) {
+            return false;
+        }
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_graph_has_one_path() {
+        let g = generators::path_graph(4);
+        let p = simple_paths(&g, 0.into(), 3.into(), 10).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], vec![0.into(), 1.into(), 2.into(), 3.into()]);
+    }
+
+    #[test]
+    fn cycle_has_two_paths() {
+        let g = generators::cycle(5);
+        let p = simple_paths(&g, 0.into(), 2.into(), 10).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|path| is_simple_path(&g, path)));
+    }
+
+    #[test]
+    fn complete_graph_path_count() {
+        // K5, paths from 0 to 4: sum over k of P(3,k) = 1 + 3 + 6 + 6 = 16.
+        let g = generators::complete(5);
+        assert_eq!(count_simple_paths(&g, 0.into(), 4.into(), 100).unwrap(), 16);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = generators::complete(6);
+        let err = simple_paths(&g, 0.into(), 5.into(), 3).unwrap_err();
+        assert_eq!(err.budget, 3);
+        assert!(err.to_string().contains("budget of 3"));
+    }
+
+    #[test]
+    fn disconnected_or_absent_endpoints_yield_no_paths() {
+        let mut g = generators::path_graph(2);
+        g.add_node(5.into());
+        assert!(simple_paths(&g, 0.into(), 5.into(), 10).unwrap().is_empty());
+        assert!(simple_paths(&g, 0.into(), 9.into(), 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn simple_path_validation() {
+        let g = generators::cycle(4);
+        assert!(is_simple_path(&g, &[0.into(), 1.into(), 2.into()]));
+        assert!(!is_simple_path(&g, &[0.into(), 2.into()])); // not adjacent
+        assert!(!is_simple_path(&g, &[0.into(), 1.into(), 0.into()])); // repeat
+        assert!(!is_simple_path(&g, &[])); // empty
+        assert!(is_simple_path(&g, &[3.into()])); // single node
+    }
+}

@@ -1,0 +1,186 @@
+//! Breadth-first traversal, reachability and connected components.
+
+use std::collections::VecDeque;
+
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::graph::Graph;
+
+/// The set of nodes reachable from `start` without entering `blocked`.
+///
+/// `start` itself is included (if present and not blocked). This is the
+/// primitive behind every cut predicate: `C` separates D from R iff R is not
+/// in `reachable_avoiding(g, D, C)`.
+pub fn reachable_avoiding(g: &Graph, start: NodeId, blocked: &NodeSet) -> NodeSet {
+    let mut seen = NodeSet::new();
+    if !g.contains_node(start) || blocked.contains(start) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors(v) {
+            if !seen.contains(u) && !blocked.contains(u) {
+                seen.insert(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    seen
+}
+
+/// The set of nodes reachable from `start`.
+pub fn reachable(g: &Graph, start: NodeId) -> NodeSet {
+    reachable_avoiding(g, start, &NodeSet::new())
+}
+
+/// The connected component containing `v` (empty if `v` is absent).
+pub fn component_of(g: &Graph, v: NodeId) -> NodeSet {
+    reachable(g, v)
+}
+
+/// All connected components, ordered by their smallest node.
+pub fn components(g: &Graph) -> Vec<NodeSet> {
+    let mut remaining = g.nodes().clone();
+    let mut out = Vec::new();
+    while let Some(v) = remaining.first() {
+        let comp = component_of(g, v);
+        remaining.difference_with(&comp);
+        out.push(comp);
+    }
+    out
+}
+
+/// `true` if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    match g.nodes().first() {
+        None => true,
+        Some(v) => component_of(g, v) == *g.nodes(),
+    }
+}
+
+/// `true` if `u` and `v` are connected without entering `blocked`.
+pub fn connected_avoiding(g: &Graph, u: NodeId, v: NodeId, blocked: &NodeSet) -> bool {
+    reachable_avoiding(g, u, blocked).contains(v)
+}
+
+/// BFS distances from `start`; `None` for unreachable or absent nodes.
+///
+/// The returned vector is indexed by [`NodeId::index`] and sized to the
+/// largest present id + 1.
+pub fn distances(g: &Graph, start: NodeId) -> Vec<Option<u32>> {
+    let size = g.nodes().last().map_or(0, |v| v.index() + 1);
+    let mut dist = vec![None; size];
+    if !g.contains_node(start) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have distances");
+        for u in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The ball of radius `k` around `v`: nodes at BFS distance ≤ `k`.
+pub fn ball(g: &Graph, v: NodeId, k: usize) -> NodeSet {
+    let mut frontier = NodeSet::singleton(v);
+    let mut seen = frontier.clone();
+    if !g.contains_node(v) {
+        return NodeSet::new();
+    }
+    for _ in 0..k {
+        let mut next = NodeSet::new();
+        for u in &frontier {
+            next.union_with(g.neighbors(u));
+        }
+        next.difference_with(&seen);
+        if next.is_empty() {
+            break;
+        }
+        seen.union_with(&next);
+        frontier = next;
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn reachability_respects_blocked_set() {
+        let g = generators::path_graph(5); // 0-1-2-3-4
+        assert_eq!(reachable(&g, 0.into()), NodeSet::universe(5));
+        let r = reachable_avoiding(&g, 0.into(), &set(&[2]));
+        assert_eq!(r, set(&[0, 1]));
+        assert!(reachable_avoiding(&g, 0.into(), &set(&[0])).is_empty());
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        let mut g = generators::path_graph(3);
+        g.add_edge(10.into(), 11.into());
+        g.add_node(20.into());
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        let mut union = NodeSet::new();
+        for c in &comps {
+            assert!(union.is_disjoint(c));
+            union.union_with(c);
+        }
+        assert_eq!(&union, g.nodes());
+    }
+
+    #[test]
+    fn connectivity_predicates() {
+        let g = generators::cycle(6);
+        assert!(is_connected(&g));
+        assert!(connected_avoiding(&g, 0.into(), 3.into(), &set(&[1])));
+        assert!(!connected_avoiding(&g, 0.into(), 3.into(), &set(&[1, 5])));
+        assert!(is_connected(&Graph::new()));
+    }
+
+    #[test]
+    fn bfs_distances_on_a_cycle() {
+        let g = generators::cycle(6);
+        let d = distances(&g, 0.into());
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn distances_mark_unreachable_nodes() {
+        let mut g = generators::path_graph(2);
+        g.add_node(4.into());
+        let d = distances(&g, 0.into());
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn balls_grow_with_radius() {
+        let g = generators::path_graph(7);
+        assert_eq!(ball(&g, 3.into(), 0), set(&[3]));
+        assert_eq!(ball(&g, 3.into(), 1), set(&[2, 3, 4]));
+        assert_eq!(ball(&g, 3.into(), 2), set(&[1, 2, 3, 4, 5]));
+        assert_eq!(ball(&g, 3.into(), 99), NodeSet::universe(7));
+    }
+
+    use crate::graph::Graph;
+}

@@ -1,0 +1,221 @@
+//! View functions of the Partial Knowledge Model.
+//!
+//! Each player `v` knows the topology of a subgraph γ(v) containing `v`
+//! ([`ViewKind`] selects which), and a set `S` of players has the joint view
+//! γ(S) = (∪ V_v, ∪ E_v). A [`ViewAssignment`] materializes γ for every node
+//! of a graph and provides the joint-view operation.
+
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::graph::Graph;
+use crate::traversal;
+
+/// The standard view functions studied in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// Full topology knowledge: γ(v) = G.
+    Full,
+    /// The ad hoc model: γ(v) is the *star* around v — v, its neighbours,
+    /// and the edges from v to them (the paper's γ(v) = 𝒩(v)).
+    AdHoc,
+    /// γ(v) is the subgraph induced on the ball of radius `k` around v.
+    ///
+    /// `Radius(1)` additionally contains the edges among v's neighbours,
+    /// which `AdHoc` does not; `Radius(0)` is just `{v}`.
+    Radius(usize),
+}
+
+impl ViewKind {
+    /// Computes γ(v) for this kind on graph `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of `g`.
+    pub fn view_of(self, g: &Graph, v: NodeId) -> Graph {
+        assert!(g.contains_node(v), "node {v} is not present");
+        match self {
+            ViewKind::Full => g.clone(),
+            ViewKind::AdHoc => {
+                let mut star = Graph::new();
+                star.add_node(v);
+                for u in g.neighbors(v) {
+                    star.add_edge(v, u);
+                }
+                star
+            }
+            ViewKind::Radius(k) => g.induced(&traversal::ball(g, v, k)),
+        }
+    }
+}
+
+impl std::fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewKind::Full => write!(f, "full"),
+            ViewKind::AdHoc => write!(f, "ad-hoc"),
+            ViewKind::Radius(k) => write!(f, "radius-{k}"),
+        }
+    }
+}
+
+/// A materialized view function γ: one subgraph per node of the underlying
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use rmt_graph::{generators, ViewAssignment, ViewKind};
+///
+/// let g = generators::cycle(5);
+/// let gamma = ViewAssignment::uniform(&g, ViewKind::AdHoc);
+/// assert_eq!(gamma.view(2.into()).node_count(), 3); // v and two neighbours
+/// let joint = gamma.joint_view(&[0u32, 1].into_iter().collect());
+/// assert_eq!(joint.node_count(), 4); // {4,0,1,2}
+/// ```
+#[derive(Clone, Debug)]
+pub struct ViewAssignment {
+    views: Vec<Option<Graph>>,
+    domain: NodeSet,
+}
+
+impl ViewAssignment {
+    /// Assigns the same kind of view to every node of `g`.
+    pub fn uniform(g: &Graph, kind: ViewKind) -> Self {
+        Self::from_fn(g, |gr, v| kind.view_of(gr, v))
+    }
+
+    /// Assigns views computed by `f`, which may differ per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some produced view does not contain its own node — the
+    /// Partial Knowledge Model requires `v ∈ γ(v)`.
+    pub fn from_fn(g: &Graph, mut f: impl FnMut(&Graph, NodeId) -> Graph) -> Self {
+        let size = g.nodes().last().map_or(0, |v| v.index() + 1);
+        let mut views = vec![None; size];
+        for v in g.nodes() {
+            let view = f(g, v);
+            assert!(view.contains_node(v), "view of {v} must contain {v}");
+            views[v.index()] = Some(view);
+        }
+        ViewAssignment {
+            views,
+            domain: g.nodes().clone(),
+        }
+    }
+
+    /// The nodes this assignment covers.
+    pub fn domain(&self) -> &NodeSet {
+        &self.domain
+    }
+
+    /// The view γ(v).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has no assigned view.
+    pub fn view(&self, v: NodeId) -> &Graph {
+        self.views
+            .get(v.index())
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("no view assigned to {v}"))
+    }
+
+    /// The joint view γ(S) = (∪_{v∈S} V_v, ∪_{v∈S} E_v).
+    ///
+    /// Nodes of `s` without an assigned view are skipped (they contribute
+    /// nothing), matching the use on message sets where only reporting nodes
+    /// count.
+    pub fn joint_view(&self, s: &NodeSet) -> Graph {
+        let mut out = Graph::new();
+        for v in s {
+            if let Some(Some(view)) = self.views.get(v.index()) {
+                out.union_with(view);
+            }
+        }
+        out
+    }
+
+    /// Replaces the view of a single node (used to model lying adversaries
+    /// and custom knowledge scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new view does not contain `v`.
+    pub fn set_view(&mut self, v: NodeId, view: Graph) {
+        assert!(view.contains_node(v), "view of {v} must contain {v}");
+        if v.index() >= self.views.len() {
+            self.views.resize(v.index() + 1, None);
+        }
+        self.domain.insert(v);
+        self.views[v.index()] = Some(view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn full_view_is_the_graph() {
+        let g = generators::cycle(4);
+        let gamma = ViewAssignment::uniform(&g, ViewKind::Full);
+        assert_eq!(gamma.view(0.into()), &g);
+    }
+
+    #[test]
+    fn adhoc_view_is_a_star() {
+        let g = generators::complete(4);
+        let v = ViewKind::AdHoc.view_of(&g, 0.into());
+        assert_eq!(v.node_count(), 4);
+        assert_eq!(v.edge_count(), 3); // only edges incident to 0
+        assert!(!v.has_edge(1.into(), 2.into()));
+    }
+
+    #[test]
+    fn radius_one_includes_neighbour_edges() {
+        let g = generators::complete(4);
+        let v = ViewKind::Radius(1).view_of(&g, 0.into());
+        assert_eq!(v.edge_count(), 6); // whole K4 is within the ball
+        assert!(v.has_edge(1.into(), 2.into()));
+    }
+
+    #[test]
+    fn radius_zero_is_self_only() {
+        let g = generators::cycle(5);
+        let v = ViewKind::Radius(0).view_of(&g, 3.into());
+        assert_eq!(v.node_count(), 1);
+        assert!(v.contains_node(3.into()));
+    }
+
+    #[test]
+    fn joint_view_unions_node_views() {
+        let g = generators::path_graph(5);
+        let gamma = ViewAssignment::uniform(&g, ViewKind::AdHoc);
+        let joint = gamma.joint_view(&[1u32, 3].into_iter().collect());
+        // stars of 1 and 3: nodes {0,1,2} ∪ {2,3,4}
+        assert_eq!(joint.node_count(), 5);
+        assert!(joint.has_edge(0.into(), 1.into()));
+        assert!(joint.has_edge(3.into(), 4.into()));
+        assert!(!joint.has_edge(1.into(), 2.into()) || joint.has_edge(1.into(), 2.into()));
+        assert_eq!(joint.edge_count(), 4);
+    }
+
+    #[test]
+    fn set_view_overrides() {
+        let g = generators::path_graph(3);
+        let mut gamma = ViewAssignment::uniform(&g, ViewKind::AdHoc);
+        let mut lie = Graph::new();
+        lie.add_edge(1.into(), 9.into()); // fictitious node
+        gamma.set_view(1.into(), lie.clone());
+        assert_eq!(gamma.view(1.into()), &lie);
+    }
+
+    #[test]
+    fn view_kind_display() {
+        assert_eq!(ViewKind::Full.to_string(), "full");
+        assert_eq!(ViewKind::AdHoc.to_string(), "ad-hoc");
+        assert_eq!(ViewKind::Radius(2).to_string(), "radius-2");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests checking `NodeSet` against a `BTreeSet<u32>` model.
+
+use proptest::prelude::*;
+use rmt_sets::{NodeId, NodeSet};
+use std::collections::BTreeSet;
+
+fn ids() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..200, 0..40)
+}
+
+fn to_nodeset(v: &[u32]) -> NodeSet {
+    v.iter().copied().collect()
+}
+
+fn to_model(v: &[u32]) -> BTreeSet<u32> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model(a in ids(), b in ids()) {
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        let model: Vec<u32> = to_model(&a).union(&to_model(&b)).copied().collect();
+        let got: Vec<u32> = sa.union(&sb).iter().map(NodeId::raw).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in ids(), b in ids()) {
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        let model: Vec<u32> = to_model(&a).intersection(&to_model(&b)).copied().collect();
+        let got: Vec<u32> = sa.intersection(&sb).iter().map(NodeId::raw).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn difference_matches_model(a in ids(), b in ids()) {
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        let model: Vec<u32> = to_model(&a).difference(&to_model(&b)).copied().collect();
+        let got: Vec<u32> = sa.difference(&sb).iter().map(NodeId::raw).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn subset_relation_matches_model(a in ids(), b in ids()) {
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        prop_assert_eq!(sa.is_subset(&sb), to_model(&a).is_subset(&to_model(&b)));
+        prop_assert_eq!(sa.is_disjoint(&sb), to_model(&a).is_disjoint(&to_model(&b)));
+    }
+
+    #[test]
+    fn len_and_iteration_match_model(a in ids()) {
+        let sa = to_nodeset(&a);
+        let model = to_model(&a);
+        prop_assert_eq!(sa.len(), model.len());
+        prop_assert_eq!(sa.is_empty(), model.is_empty());
+        let got: Vec<u32> = sa.iter().map(NodeId::raw).collect();
+        let want: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn demorgan_within_a_universe(a in ids(), b in ids()) {
+        let u = NodeSet::universe(200);
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        let lhs = u.difference(&sa.union(&sb));
+        let rhs = u.difference(&sa).intersection(&u.difference(&sb));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ord_is_consistent_with_eq(a in ids(), b in ids()) {
+        let (sa, sb) = (to_nodeset(&a), to_nodeset(&b));
+        prop_assert_eq!(sa == sb, sa.cmp(&sb) == std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(a in ids(), x in 0u32..200) {
+        let sa = to_nodeset(&a);
+        let mut s = sa.clone();
+        let id = NodeId::new(x);
+        let was_present = s.contains(id);
+        s.insert(id);
+        if !was_present {
+            s.remove(id);
+        }
+        prop_assert_eq!(s, sa);
+    }
+}

@@ -1,0 +1,288 @@
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::message::{Envelope, Payload, RoundInboxes};
+use crate::protocol::{NodeContext, Protocol};
+
+/// Full-information Byzantine control of a corruption set.
+///
+/// Every round the adversary sees *all* messages delivered in the network
+/// (full information, the worst case the paper assumes) and produces the
+/// outgoing messages of every corrupted node. The [`Runner`] enforces the
+/// model's only physical constraints: adversarial envelopes must originate
+/// at a corrupted node and travel along an edge; everything else — blocking,
+/// altering, rerouting, forging trails, reporting fictitious topology — is
+/// allowed.
+///
+/// [`Runner`]: crate::Runner
+pub trait Adversary<P: Payload> {
+    /// The corrupted node set (fixed for the run).
+    fn corrupted(&self) -> &NodeSet;
+
+    /// Outgoing adversarial messages before round 1 (mirrors
+    /// [`Protocol::start`]).
+    fn start(&mut self, graph: &Graph) -> Vec<Envelope<P>>;
+
+    /// Outgoing adversarial messages for this round, given everything that
+    /// was delivered.
+    fn on_round(
+        &mut self,
+        round: u32,
+        graph: &Graph,
+        delivered: &RoundInboxes<P>,
+    ) -> Vec<Envelope<P>>;
+
+    /// `true` once the adversary will never send again (enables early
+    /// quiescence detection). Conservative default: `false`.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Payload, A: Adversary<P> + ?Sized> Adversary<P> for Box<A> {
+    fn corrupted(&self) -> &NodeSet {
+        (**self).corrupted()
+    }
+
+    fn start(&mut self, graph: &Graph) -> Vec<Envelope<P>> {
+        (**self).start(graph)
+    }
+
+    fn on_round(
+        &mut self,
+        round: u32,
+        graph: &Graph,
+        delivered: &RoundInboxes<P>,
+    ) -> Vec<Envelope<P>> {
+        (**self).on_round(round, graph, delivered)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        (**self).is_quiescent()
+    }
+}
+
+/// The adversary that blocks completely: corrupted nodes never send.
+///
+/// Despite its simplicity this is the canonical *omission* attack; the
+/// characterization experiments use it alongside the active attacks.
+#[derive(Clone, Debug)]
+pub struct SilentAdversary {
+    corrupted: NodeSet,
+}
+
+impl SilentAdversary {
+    /// Creates a silent adversary corrupting `corrupted`.
+    pub fn new(corrupted: NodeSet) -> Self {
+        SilentAdversary { corrupted }
+    }
+}
+
+impl<P: Payload> Adversary<P> for SilentAdversary {
+    fn corrupted(&self) -> &NodeSet {
+        &self.corrupted
+    }
+
+    fn start(&mut self, _graph: &Graph) -> Vec<Envelope<P>> {
+        Vec::new()
+    }
+
+    fn on_round(&mut self, _: u32, _: &Graph, _: &RoundInboxes<P>) -> Vec<Envelope<P>> {
+        Vec::new()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+}
+
+/// An adversary defined by a closure over the full-information view.
+///
+/// The closure receives `(round, graph, delivered)` — round 0 is the start
+/// call with empty inboxes — and returns the corrupted nodes' sends.
+pub struct FnAdversary<P, F> {
+    corrupted: NodeSet,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F> FnAdversary<P, F>
+where
+    P: Payload,
+    F: FnMut(u32, &Graph, &RoundInboxes<P>) -> Vec<Envelope<P>>,
+{
+    /// Creates an adversary that corrupts `corrupted` and acts via `f`.
+    pub fn new(corrupted: NodeSet, f: F) -> Self {
+        FnAdversary {
+            corrupted,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P, F> Adversary<P> for FnAdversary<P, F>
+where
+    P: Payload,
+    F: FnMut(u32, &Graph, &RoundInboxes<P>) -> Vec<Envelope<P>>,
+{
+    fn corrupted(&self) -> &NodeSet {
+        &self.corrupted
+    }
+
+    fn start(&mut self, graph: &Graph) -> Vec<Envelope<P>> {
+        (self.f)(0, graph, &RoundInboxes::new(0))
+    }
+
+    fn on_round(
+        &mut self,
+        round: u32,
+        graph: &Graph,
+        delivered: &RoundInboxes<P>,
+    ) -> Vec<Envelope<P>> {
+        (self.f)(round, graph, delivered)
+    }
+}
+
+/// An adversary that runs the *honest* protocol on every corrupted node and
+/// then rewrites the outgoing traffic with a mapper.
+///
+/// This expresses the classical active attacks compactly: `FlipValue` maps
+/// payload values, a forger rewrites trails, an omission adversary returns
+/// `None` selectively. Returning `None` drops the message.
+pub struct MapAdversary<Q: Protocol, F> {
+    corrupted: NodeSet,
+    instances: Vec<(NodeId, Q)>,
+    mapper: F,
+}
+
+impl<Q, F> MapAdversary<Q, F>
+where
+    Q: Protocol,
+    F: FnMut(u32, Envelope<Q::Payload>) -> Option<Envelope<Q::Payload>>,
+{
+    /// Creates the adversary: one honest `Q` instance per corrupted node
+    /// (built by `make`), with outgoing traffic rewritten by `mapper`.
+    pub fn new(corrupted: NodeSet, mut make: impl FnMut(NodeId) -> Q, mapper: F) -> Self {
+        let instances = corrupted.iter().map(|v| (v, make(v))).collect();
+        MapAdversary {
+            corrupted,
+            instances,
+            mapper,
+        }
+    }
+
+    fn ctx(graph: &Graph, v: NodeId, round: u32) -> NodeContext {
+        NodeContext {
+            id: v,
+            round,
+            neighbors: graph.neighbors(v).clone(),
+        }
+    }
+}
+
+impl<Q, F> Adversary<Q::Payload> for MapAdversary<Q, F>
+where
+    Q: Protocol,
+    F: FnMut(u32, Envelope<Q::Payload>) -> Option<Envelope<Q::Payload>>,
+{
+    fn corrupted(&self) -> &NodeSet {
+        &self.corrupted
+    }
+
+    fn start(&mut self, graph: &Graph) -> Vec<Envelope<Q::Payload>> {
+        let mut out = Vec::new();
+        for (v, proto) in &mut self.instances {
+            let ctx = Self::ctx(graph, *v, 0);
+            for (to, payload) in proto.start(&ctx) {
+                if let Some(env) = (self.mapper)(0, Envelope::new(*v, to, payload)) {
+                    out.push(env);
+                }
+            }
+        }
+        out
+    }
+
+    fn on_round(
+        &mut self,
+        round: u32,
+        graph: &Graph,
+        delivered: &RoundInboxes<Q::Payload>,
+    ) -> Vec<Envelope<Q::Payload>> {
+        let mut out = Vec::new();
+        for (v, proto) in &mut self.instances {
+            let ctx = Self::ctx(graph, *v, round);
+            for (to, payload) in proto.on_round(&ctx, delivered.inbox(*v)) {
+                if let Some(env) = (self.mapper)(round, Envelope::new(*v, to, payload)) {
+                    out.push(env);
+                }
+            }
+        }
+        out
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.instances.iter().all(|(_, p)| p.is_terminated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Flood;
+    use rmt_graph::generators;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn silent_adversary_sends_nothing() {
+        let g = generators::path_graph(3);
+        let mut a = SilentAdversary::new(set(&[1]));
+        assert!(Adversary::<u64>::start(&mut a, &g).is_empty());
+        assert!(a.on_round(1, &g, &RoundInboxes::<u64>::new(3)).is_empty());
+        assert!(Adversary::<u64>::is_quiescent(&a));
+    }
+
+    #[test]
+    fn fn_adversary_passes_round_numbers() {
+        let g = generators::path_graph(2);
+        let mut rounds = Vec::new();
+        {
+            let mut a = FnAdversary::<u64, _>::new(set(&[0]), |r, _, _| {
+                rounds.push(r);
+                vec![]
+            });
+            let _ = a.start(&g);
+            let _ = a.on_round(1, &g, &RoundInboxes::new(2));
+            let _ = a.on_round(2, &g, &RoundInboxes::new(2));
+        }
+        assert_eq!(rounds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_adversary_rewrites_honest_traffic() {
+        let g = generators::path_graph(3);
+        // Node 0 is corrupted and would flood 7; the mapper flips it to 9.
+        let mut a = MapAdversary::new(
+            set(&[0]),
+            |v| Flood::new(v, Some(7)),
+            |_, mut env: Envelope<u64>| {
+                env.payload = 9;
+                Some(env)
+            },
+        );
+        let out = a.start(&g);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 9);
+        assert_eq!(out[0].from, 0.into());
+    }
+
+    #[test]
+    fn map_adversary_can_drop_messages() {
+        let g = generators::path_graph(3);
+        let mut a = MapAdversary::new(set(&[0]), |v| Flood::new(v, Some(7)), |_, _| None);
+        assert!(a.start(&g).is_empty());
+    }
+}

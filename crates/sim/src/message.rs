@@ -1,0 +1,115 @@
+use std::fmt;
+
+use rmt_sets::NodeId;
+
+/// A protocol message body.
+///
+/// Payloads must report their encoded size so the simulator can account bit
+/// complexity (experiment E6) without committing to a wire format.
+pub trait Payload: Clone + PartialEq + fmt::Debug {
+    /// The size of this payload on the wire, in bits.
+    ///
+    /// Estimates are fine as long as they are consistent across protocols
+    /// being compared.
+    fn encoded_bits(&self) -> usize;
+}
+
+impl Payload for u64 {
+    fn encoded_bits(&self) -> usize {
+        64
+    }
+}
+
+/// A message in flight: sender, recipient, body.
+///
+/// Channels are authenticated: the [`Runner`] constructs the `from` field
+/// from the true sender for honest traffic and rejects adversarial traffic
+/// claiming a sender outside the corrupted set, so a `from` field can be
+/// trusted by recipients exactly as the model prescribes.
+///
+/// [`Runner`]: crate::Runner
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<P> {
+    /// The (authenticated) sender.
+    pub from: NodeId,
+    /// The recipient.
+    pub to: NodeId,
+    /// The message body.
+    pub payload: P,
+}
+
+impl<P: Payload> Envelope<P> {
+    /// Creates an envelope.
+    pub fn new(from: NodeId, to: NodeId, payload: P) -> Self {
+        Envelope { from, to, payload }
+    }
+}
+
+/// A per-node log of deliveries: recipient ↦ [(round, envelope)].
+///
+/// Used by the runner's watch facility and the coupled executor.
+pub type DeliveryLog<P> = std::collections::HashMap<rmt_sets::NodeId, Vec<(u32, Envelope<P>)>>;
+
+/// The messages delivered to every node in one round, indexed by recipient.
+///
+/// A full-information adversary receives the whole structure each round.
+#[derive(Clone, Debug)]
+pub struct RoundInboxes<P> {
+    inboxes: Vec<Vec<Envelope<P>>>,
+}
+
+impl<P: Payload> RoundInboxes<P> {
+    pub(crate) fn new(size: usize) -> Self {
+        RoundInboxes {
+            inboxes: (0..size).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, env: Envelope<P>) {
+        let idx = env.to.index();
+        if idx >= self.inboxes.len() {
+            self.inboxes.resize_with(idx + 1, Vec::new);
+        }
+        self.inboxes[idx].push(env);
+    }
+
+    /// Messages delivered to `v` this round.
+    pub fn inbox(&self, v: NodeId) -> &[Envelope<P>] {
+        self.inboxes.get(v.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of delivered messages.
+    pub fn total(&self) -> usize {
+        self.inboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inboxes_group_by_recipient() {
+        let mut r = RoundInboxes::new(2);
+        r.push(Envelope::new(0.into(), 1.into(), 5u64));
+        r.push(Envelope::new(2.into(), 1.into(), 6u64));
+        r.push(Envelope::new(1.into(), 4.into(), 7u64)); // grows storage
+        assert_eq!(r.inbox(1.into()).len(), 2);
+        assert_eq!(r.inbox(4.into()).len(), 1);
+        assert_eq!(r.inbox(0.into()).len(), 0);
+        assert_eq!(r.inbox(9.into()).len(), 0);
+        assert_eq!(r.total(), 3);
+        assert!(!r.is_empty());
+        assert!(RoundInboxes::<u64>::new(3).is_empty());
+    }
+
+    #[test]
+    fn u64_payload_reports_bits() {
+        assert_eq!(5u64.encoded_bits(), 64);
+    }
+}

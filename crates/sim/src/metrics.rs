@@ -1,0 +1,57 @@
+/// Complexity accounting for one run.
+///
+/// Message and bit counts cover everything handed to the scheduler along
+/// valid edges; adversarial traffic is counted separately so the efficiency
+/// experiments can report honest protocol cost in isolation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds actually executed (delivery rounds).
+    pub rounds: u32,
+    /// Messages sent by honest nodes.
+    pub honest_messages: u64,
+    /// Messages sent by the adversary (after validity filtering).
+    pub adversarial_messages: u64,
+    /// Total bits sent by honest nodes.
+    pub honest_bits: u64,
+    /// Adversarial envelopes dropped for violating the model (sender not
+    /// corrupted, or no such edge).
+    pub rejected_adversarial: u64,
+    /// Messages sent by honest nodes per round (index 0 = initial sends).
+    pub honest_messages_per_round: Vec<u64>,
+}
+
+impl Metrics {
+    /// Total messages (honest + adversarial).
+    pub fn total_messages(&self) -> u64 {
+        self.honest_messages + self.adversarial_messages
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} honest msgs ({} bits), {} adversarial msgs",
+            self.rounds, self.honest_messages, self.honest_bits, self.adversarial_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_display() {
+        let m = Metrics {
+            rounds: 3,
+            honest_messages: 10,
+            adversarial_messages: 2,
+            honest_bits: 640,
+            rejected_adversarial: 1,
+            honest_messages_per_round: vec![4, 6],
+        };
+        assert_eq!(m.total_messages(), 12);
+        assert!(m.to_string().contains("3 rounds"));
+    }
+}

@@ -1,0 +1,64 @@
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::message::{Envelope, Payload};
+
+/// Static per-node information handed to a protocol on every call.
+#[derive(Clone, Debug)]
+pub struct NodeContext {
+    /// This node's identity.
+    pub id: NodeId,
+    /// The current round (0 for [`Protocol::start`], then 1, 2, …).
+    pub round: u32,
+    /// This node's neighbours in the communication graph.
+    pub neighbors: NodeSet,
+}
+
+/// A deterministic per-node protocol state machine.
+///
+/// The [`Runner`] calls [`start`](Protocol::start) once before round 1 and
+/// then [`on_round`](Protocol::on_round) every round with the messages
+/// delivered that round. Outgoing messages are `(recipient, payload)` pairs;
+/// the runner stamps the authenticated sender and delivers next round,
+/// dropping any message not along an edge.
+///
+/// [`Runner`]: crate::Runner
+pub trait Protocol {
+    /// Message body type.
+    type Payload: Payload;
+    /// Decision value type (e.g. the dealer's message space `X`).
+    type Decision: Clone + PartialEq + std::fmt::Debug;
+
+    /// Initial sends, before any message is received (round 0).
+    fn start(&mut self, ctx: &NodeContext) -> Vec<(NodeId, Self::Payload)>;
+
+    /// Processes one round's inbox and returns the messages to send.
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &[Envelope<Self::Payload>],
+    ) -> Vec<(NodeId, Self::Payload)>;
+
+    /// The node's decision, if it has decided.
+    fn decision(&self) -> Option<Self::Decision>;
+
+    /// `true` once the node will never send again (lets the runner detect
+    /// quiescence early). Defaults to "terminated once decided".
+    fn is_terminated(&self) -> bool {
+        self.decision().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Flood;
+
+    #[test]
+    fn default_termination_follows_decision() {
+        let mut p = Flood::new(0.into(), Some(3));
+        assert!(p.is_terminated()); // dealer decides immediately
+        let q = Flood::new(1.into(), None);
+        assert!(!q.is_terminated());
+        let _ = &mut p;
+    }
+}

@@ -1,0 +1,107 @@
+//! A minimal flooding protocol used by the simulator's own tests, doctests
+//! and the quickstart example.
+//!
+//! `Flood` is intentionally *not* Byzantine-tolerant: a node adopts the first
+//! value it hears and forwards it once. It exists to exercise the scheduler
+//! and to demonstrate, by contrast, what the safe protocols in `rmt-core`
+//! add.
+
+use rmt_sets::NodeId;
+
+use crate::message::Envelope;
+use crate::protocol::{NodeContext, Protocol};
+
+/// Naive single-value flooding (adopt first, forward once).
+#[derive(Clone, Debug)]
+pub struct Flood {
+    id: NodeId,
+    value: Option<u64>,
+    forwarded: bool,
+}
+
+impl Flood {
+    /// Creates a flooding node; pass `Some(v)` for the originator.
+    pub fn new(id: NodeId, value: Option<u64>) -> Self {
+        Flood {
+            id,
+            value,
+            forwarded: false,
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl Protocol for Flood {
+    type Payload = u64;
+    type Decision = u64;
+
+    fn start(&mut self, ctx: &NodeContext) -> Vec<(NodeId, u64)> {
+        match self.value {
+            Some(v) if !self.forwarded => {
+                self.forwarded = true;
+                ctx.neighbors.iter().map(|n| (n, v)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeContext, inbox: &[Envelope<u64>]) -> Vec<(NodeId, u64)> {
+        if self.value.is_none() {
+            if let Some(env) = inbox.first() {
+                self.value = Some(env.payload);
+            }
+        }
+        match self.value {
+            Some(v) if !self.forwarded => {
+                self.forwarded = true;
+                ctx.neighbors.iter().map(|n| (n, v)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn decision(&self) -> Option<u64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sets::NodeSet;
+
+    #[test]
+    fn originator_sends_once() {
+        let mut f = Flood::new(0.into(), Some(4));
+        let ctx = NodeContext {
+            id: 0.into(),
+            round: 0,
+            neighbors: NodeSet::universe(3).difference(&NodeSet::singleton(0.into())),
+        };
+        assert_eq!(f.start(&ctx).len(), 2);
+        assert!(f.start(&ctx).is_empty()); // second call: already forwarded
+        assert_eq!(f.decision(), Some(4));
+    }
+
+    #[test]
+    fn non_originator_adopts_first_value() {
+        let mut f = Flood::new(1.into(), None);
+        let ctx = NodeContext {
+            id: 1.into(),
+            round: 1,
+            neighbors: NodeSet::singleton(2.into()),
+        };
+        assert_eq!(f.decision(), None);
+        let inbox = vec![
+            Envelope::new(0.into(), 1.into(), 8u64),
+            Envelope::new(2.into(), 1.into(), 9u64),
+        ];
+        let out = f.on_round(&ctx, &inbox);
+        assert_eq!(out, vec![(2.into(), 8)]);
+        assert_eq!(f.decision(), Some(8));
+    }
+}

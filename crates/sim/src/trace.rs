@@ -1,0 +1,117 @@
+//! Human-readable run transcripts.
+//!
+//! The [`Runner`](crate::Runner) records deliveries for watched nodes;
+//! [`Transcript`] renders them round by round, which the examples use to
+//! show *why* a receiver decided (or could not).
+
+use std::fmt::Write as _;
+
+use rmt_sets::NodeId;
+
+use crate::message::{Envelope, Payload};
+use crate::protocol::Protocol;
+use crate::runner::RunOutcome;
+
+/// A formatted per-round view of everything delivered to one node.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    lines: Vec<(u32, String)>,
+    node: NodeId,
+}
+
+impl Transcript {
+    /// Builds the transcript of the messages delivered to `node`
+    /// (which must have been watched), rendering payloads with `describe`.
+    pub fn for_node<Q: Protocol>(
+        outcome: &RunOutcome<Q>,
+        node: NodeId,
+        mut describe: impl FnMut(&Envelope<Q::Payload>) -> String,
+    ) -> Self {
+        let lines = outcome
+            .delivered_to(node)
+            .iter()
+            .map(|(round, env)| (*round, format!("{} → {}", env.from, describe(env))))
+            .collect();
+        Transcript { lines, node }
+    }
+
+    /// The number of recorded deliveries.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` if nothing was delivered (or the node was not watched).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Renders the transcript, one round per block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "deliveries to {}:", self.node);
+        let mut current = None;
+        for (round, line) in &self.lines {
+            if current != Some(*round) {
+                let _ = writeln!(out, "  round {round}:");
+                current = Some(*round);
+            }
+            let _ = writeln!(out, "    {line}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Transcript {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Describes any payload via its `Debug` form (a reasonable default for
+/// transcripts).
+pub fn debug_describe<P: Payload>(env: &Envelope<P>) -> String {
+    format!("{:?}", env.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::SilentAdversary;
+    use crate::runner::Runner;
+    use crate::testing::Flood;
+    use rmt_graph::generators;
+    use rmt_sets::NodeSet;
+
+    #[test]
+    fn transcript_groups_by_round() {
+        let g = generators::path_graph(4);
+        let out = Runner::new(
+            g,
+            |v| Flood::new(v, (v.index() == 0).then_some(7)),
+            SilentAdversary::new(NodeSet::new()),
+        )
+        .watch(NodeSet::singleton(2.into()))
+        .run();
+        let t = Transcript::for_node(&out, 2.into(), debug_describe);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("deliveries to v2"));
+        assert!(rendered.contains("round 2:"));
+        assert!(rendered.contains("v1 → 7"));
+        assert_eq!(t.to_string(), rendered);
+    }
+
+    #[test]
+    fn unwatched_node_has_empty_transcript() {
+        let g = generators::path_graph(3);
+        let out = Runner::new(
+            g,
+            |v| Flood::new(v, (v.index() == 0).then_some(7)),
+            SilentAdversary::new(NodeSet::new()),
+        )
+        .run();
+        let t = Transcript::for_node(&out, 2.into(), debug_describe);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! How much knowledge is enough? Sweep the view radius on the *staggered
+//! theta* — the designed knowledge-gap witness — and watch solvability flip
+//! exactly at radius 2.
+//!
+//! The staggered theta (see `rmt::core::gallery`) has three disjoint
+//! dealer–receiver routes with one corruptible node each at staggered
+//! depths. No two structure members cut the graph (full knowledge: fine),
+//! but radius-1 views let the adversary frame a *triple* cut whose pieces
+//! each look locally plausible — so the ad hoc model is provably
+//! unsolvable while radius-2 knowledge dissolves the framing.
+//!
+//! ```text
+//! cargo run --example knowledge_gradient
+//! ```
+
+use rmt::core::{analysis, gallery, protocols::rmt_pka::run_pka, Instance};
+use rmt::graph::ViewKind;
+use rmt::sim::SilentAdversary;
+
+fn main() {
+    let (g, z) = gallery::staggered_theta_parts();
+    println!("staggered theta: dealer 0, receiver 9, 𝒵 = {z}");
+    println!("{}", g.to_dot("theta"));
+
+    let min_k = analysis::minimal_knowledge_radius(&g, &z, 0.into(), 9.into(), 4);
+    println!("minimal knowledge radius: {min_k:?}\n");
+
+    for k in 0..=3 {
+        let inst = Instance::new(
+            g.clone(),
+            z.clone(),
+            ViewKind::Radius(k),
+            0.into(),
+            9.into(),
+        )
+        .unwrap();
+        let solvable = analysis::characterize(&inst).solvable();
+        print!(
+            "radius {k}: characterization says {}",
+            if solvable { "solvable  " } else { "unsolvable" }
+        );
+        if solvable {
+            let worst = inst.worst_case_corruptions();
+            let all_ok = worst.iter().all(|t| {
+                run_pka(&inst, 5, SilentAdversary::new(t.clone())).decision(inst.receiver())
+                    == Some(5)
+            });
+            println!(
+                " | RMT-PKA delivers under all {} worst-case corruptions: {all_ok}",
+                worst.len()
+            );
+        } else {
+            println!(" | RMT-PKA (safe) will abstain under attack");
+        }
+    }
+
+    let adhoc = gallery::staggered_theta(ViewKind::AdHoc);
+    println!(
+        "\nZ-CPA (ad hoc) resilient: {} — the partial-knowledge protocol strictly",
+        rmt::core::cuts::zcpa_resilient(&adhoc)
+    );
+    println!("dominates the ad hoc one on this instance (Corollary 6's uniqueness gap).");
+}

@@ -1,0 +1,24 @@
+//! Facade crate for the `rmt` workspace: Reliable Message Transmission under
+//! partial knowledge and general adversaries (PODC 2016 reproduction).
+//!
+//! Re-exports every workspace crate under a stable path so downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use rmt::sets::NodeSet;
+//! use rmt::adversary::AdversaryStructure;
+//!
+//! let z = rmt::adversary::threshold(&NodeSet::universe(4), 1);
+//! assert!(z.contains(&NodeSet::singleton(2u32.into())));
+//! ```
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the paper →
+//! module map.
+
+#![forbid(unsafe_code)]
+
+pub use rmt_adversary as adversary;
+pub use rmt_core as core;
+pub use rmt_graph as graph;
+pub use rmt_sets as sets;
+pub use rmt_sim as sim;

@@ -1,0 +1,101 @@
+//! Integration sweep for Section 5: the 𝒢′ family, Π, and the Theorem-9
+//! self-reduction (experiment E7's test-suite form).
+
+use rmt::core::protocols::zcpa::ZCpa;
+use rmt::core::reduction::{PiSimulationOracle, StarInstance};
+use rmt::core::sampling::{random_instance, random_structure};
+use rmt::graph::{generators, ViewKind};
+use rmt::sets::NodeSet;
+use rmt::sim::{Runner, SilentAdversary};
+
+/// Π achieves RMT on exactly the solvable members of 𝒢′, under every
+/// admissible silent corruption.
+#[test]
+fn pi_is_unique_on_the_star_family() {
+    let mut rng = generators::seeded(600);
+    for trial in 0..30 {
+        let m = 2 + trial % 4;
+        let middle: NodeSet = (1..=m as u32).collect();
+        let z = random_structure(&middle, 3, 2, &mut rng);
+        let star = StarInstance::new(middle, &z);
+        let solvable = star.solvable();
+        let mut all_ok = true;
+        for t in star.structure().maximal_sets() {
+            let out = Runner::new(
+                star.graph().clone(),
+                |v| star.pi_node(v, 5),
+                SilentAdversary::new(t.clone()),
+            )
+            .run();
+            let d = out.decision(star.receiver());
+            assert!(d.is_none() || d == Some(5), "Π must be safe");
+            all_ok &= d == Some(5);
+        }
+        if star.structure().maximal_sets().is_empty() {
+            // Trivial structure: an honest run must decide.
+            let out = Runner::new(
+                star.graph().clone(),
+                |v| star.pi_node(v, 5),
+                SilentAdversary::new(NodeSet::new()),
+            )
+            .run();
+            all_ok = out.decision(star.receiver()) == Some(5);
+        }
+        assert_eq!(solvable, all_ok, "trial {trial}: 𝒵′ = {}", star.structure());
+    }
+}
+
+/// Z-CPA with the Π-simulation oracle decides exactly like Z-CPA with the
+/// explicit oracle, node for node, under silent corruptions — the
+/// self-reduction is sound end to end.
+#[test]
+fn zcpa_with_pi_oracle_is_equivalent() {
+    let mut rng = generators::seeded(601);
+    for trial in 0..15 {
+        let n = 5 + trial % 4;
+        let inst = random_instance(n, 0.45, ViewKind::AdHoc, 3, 2, &mut rng);
+        for t in inst.worst_case_corruptions() {
+            let explicit = Runner::new(
+                inst.graph().clone(),
+                |v| ZCpa::node(&inst, v, 7),
+                SilentAdversary::new(t.clone()),
+            )
+            .run();
+            let simulated = Runner::new(
+                inst.graph().clone(),
+                |v| ZCpa::with_oracle(&inst, v, 7, PiSimulationOracle::for_node(&inst, v, 1 << 20)),
+                SilentAdversary::new(t.clone()),
+            )
+            .run();
+            for v in inst.graph().nodes() {
+                assert_eq!(
+                    explicit.decision(v),
+                    simulated.decision(v),
+                    "trial {trial}, T = {t}, node {v}"
+                );
+            }
+        }
+    }
+}
+
+/// The derived star instances of the reduction lie in 𝓘(𝒢₁): their middle
+/// sets are (subsets of) real neighbourhoods and their structures are the
+/// corresponding local traces.
+#[test]
+fn derived_stars_use_local_traces() {
+    let mut rng = generators::seeded(602);
+    let inst = random_instance(8, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+    for v in inst.graph().nodes() {
+        let nbrs = inst.graph().neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let star = StarInstance::new(nbrs.clone(), &inst.local_structure(v));
+        assert_eq!(star.middle(), nbrs);
+        // The star's structure is the trace of 𝒵_v on the middle set.
+        for m in star.structure().maximal_sets() {
+            assert!(m.is_subset(nbrs));
+            assert!(inst.local_structure(v).contains(m));
+        }
+    }
+}
