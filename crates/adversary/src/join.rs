@@ -97,6 +97,34 @@ impl JointView {
         }
         Some(acc)
     }
+
+    /// [`JointView::materialize_bounded`] with the fold effort recorded in
+    /// `reg`:
+    ///
+    /// * `join.folds` — binary ⊕ applications;
+    /// * `join.antichain_size` — size of each intermediate antichain
+    ///   (histogram; its `max` is the peak blow-up of the fold);
+    /// * `join.fold_ns` — wall time of the whole fold (histogram).
+    pub fn materialize_bounded_observed(
+        &self,
+        max_antichain: usize,
+        reg: &rmt_obs::Registry,
+    ) -> Option<RestrictedStructure> {
+        let _timer = reg.timer("join.fold_ns");
+        let folds = reg.counter("join.folds");
+        let sizes = reg.histogram("join.antichain_size");
+        let mut acc = RestrictedStructure::from_parts(NodeSet::new(), []);
+        for p in &self.parts {
+            acc = acc.join(p);
+            folds.inc();
+            let len = acc.structure().maximal_sets().len();
+            sizes.record(len as u64);
+            if len > max_antichain {
+                return None;
+            }
+        }
+        Some(acc)
+    }
 }
 
 impl fmt::Debug for JointView {
@@ -209,5 +237,25 @@ mod tests {
             .collect();
         assert!(v.materialize_bounded(1).is_none());
         assert!(v.materialize_bounded(1 << 16).is_some());
+    }
+
+    #[test]
+    fn observed_fold_matches_and_records_antichain_sizes() {
+        let z = structure(&[&[0, 1], &[2, 3], &[0, 3], &[1, 2]]);
+        let v: JointView = [set(&[0, 1, 2]), set(&[1, 2, 3]), set(&[0, 2, 3])]
+            .into_iter()
+            .map(|d| RestrictedStructure::restrict(&z, d))
+            .collect();
+        let reg = rmt_obs::Registry::new();
+        let plain = v.materialize_bounded(1 << 16).unwrap();
+        let observed = v.materialize_bounded_observed(1 << 16, &reg).unwrap();
+        assert_eq!(plain.structure(), observed.structure());
+        assert_eq!(reg.counter("join.folds").get(), 3);
+        let sizes = reg.histogram("join.antichain_size");
+        assert_eq!(sizes.count(), 3);
+        assert!(sizes.max() >= plain.structure().maximal_sets().len() as u64);
+        // A bounded-out fold still records the folds it performed.
+        assert!(v.materialize_bounded_observed(1, &reg).is_none());
+        assert!(reg.counter("join.folds").get() > 3);
     }
 }

@@ -55,7 +55,7 @@ mod tests {
     fn saturating_threshold_is_whole_universe() {
         let u = NodeSet::universe(3);
         let z = threshold(&u, 5);
-        assert_eq!(z.maximal_sets(), &[u.clone()]);
+        assert_eq!(z.maximal_sets(), std::slice::from_ref(&u));
         assert!(z.contains(&u));
     }
 

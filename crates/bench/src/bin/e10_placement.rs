@@ -5,9 +5,9 @@
 //! of the paper's minimal-γ partial order), across random families and the
 //! designed gap witness.
 
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::minimal_upgrade_set;
-use rmt_core::cuts::find_rmt_cut;
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::gallery;
 use rmt_core::sampling::random_structure;
 use rmt_core::Instance;
@@ -16,6 +16,9 @@ use rmt_graph::ViewKind;
 
 fn main() {
     let mut rng = seeded(0xE10);
+    let mut exp = Experiment::new("e10_placement");
+    exp.param("seed", "0xE10");
+    exp.param("trials_per_family", 30);
     let mut table = Table::new(
         "E10: minimal radius-2 upgrade sets over ad hoc baseline (30 instances per family)",
         &[
@@ -76,12 +79,14 @@ fn main() {
         "0".to_string(),
     ]);
     table.print();
+    exp.record_table(&table);
     println!("staggered-theta minimal upgrade set: {upgrade} (upgrading this node to a radius-2");
     println!("view refutes the triple-cut framing; verified solvable below).");
     let inst = rmt_core::analysis::mixed_views_instance(&g, &z, 0.into(), 9.into(), &upgrade, 2);
-    assert!(find_rmt_cut(&inst).is_none());
+    assert!(find_rmt_cut_observed(&inst, exp.registry()).is_none());
     let adhoc = Instance::new(g, z, ViewKind::AdHoc, 0.into(), 9.into()).unwrap();
-    assert!(find_rmt_cut(&adhoc).is_some());
+    assert!(find_rmt_cut_observed(&adhoc, exp.registry()).is_some());
+    exp.finish();
     println!("\nShape check: most random ad hoc instances are already solvable or genuinely");
     println!("unsolvable (pair cuts); the gap cases are fixed by one or two well-placed");
     println!("upgrades — knowledge placement as a design-phase tool.");

@@ -7,8 +7,8 @@
 //! completeness/efficiency trade-off, quantified. (Safety is unaffected by
 //! construction: fewer messages only remove candidate message sets.)
 
-use rmt_bench::{mean, Table};
-use rmt_core::cuts::find_rmt_cut;
+use rmt_bench::{mean, Experiment, Table};
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::protocols::rmt_pka::RmtPka;
 use rmt_core::sampling::random_instance_nonadjacent;
 use rmt_graph::generators::seeded;
@@ -18,12 +18,15 @@ use rmt_sim::{Runner, SilentAdversary};
 fn main() {
     let mut rng = seeded(0xE11);
     let trials = 40;
+    let mut exp = Experiment::new("e11_trail_bound");
+    exp.param("seed", "0xE11");
+    exp.param("instances", trials as i64);
     // Collect solvable instances once.
     let mut instances = Vec::new();
     while instances.len() < trials {
         let n = 7 + instances.len() % 4;
         let inst = random_instance_nonadjacent(n, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
-        if find_rmt_cut(&inst).is_none() {
+        if find_rmt_cut_observed(&inst, exp.registry()).is_none() {
             instances.push(inst);
         }
     }
@@ -82,6 +85,8 @@ fn main() {
         ]);
     }
     table.print();
+    exp.record_table(&table);
+    exp.finish();
     println!("Shape check: success rate climbs to 100% as L grows (completeness needs all");
     println!("G_M paths); message cost climbs with it — the trade-off behind the paper's");
     println!("open question on efficient unique partial-knowledge RMT.");

@@ -9,12 +9,15 @@
 
 use rand::Rng;
 use rmt_adversary::{JointView, RestrictedStructure};
-use rmt_bench::{fmt_duration, mean, timed, Table};
+use rmt_bench::{fmt_duration, mean, timed, Experiment, Table};
 use rmt_core::sampling::random_structure;
 use rmt_graph::generators::seeded;
 use rmt_sets::{NodeId, NodeSet};
 
 fn main() {
+    let mut exp = Experiment::new("e1_join_growth");
+    exp.param("seed", "0xE1");
+    exp.param("trials_per_config", 20);
     let mut table = Table::new(
         "E1: ⊕ join growth (universe n, k operands, antichain ≤ s sets of ≤ 3 nodes)",
         &[
@@ -56,7 +59,10 @@ fn main() {
                 })
                 .collect();
             let view: JointView = parts.into_iter().collect();
-            let (materialized, t_fold) = timed(|| view.materialize());
+            let (materialized, t_fold) = timed(|| {
+                view.materialize_bounded_observed(usize::MAX, exp.registry())
+                    .expect("unbounded materialization cannot blow up")
+            });
             sizes.push(materialized.structure().maximal_sets().len() as f64);
             fold_times.push(t_fold.as_secs_f64());
             // Lazy queries on random candidates; cross-check agreement.
@@ -89,6 +95,8 @@ fn main() {
         ]);
     }
     table.print();
+    exp.record_table(&table);
+    exp.finish();
     println!("Shape check: antichain size and fold time grow with k and s; the lazy");
     println!("cylinder query stays flat — matching the design choice in DESIGN.md §3.1.");
 }

@@ -12,9 +12,9 @@
 //!
 //! A perfect diagonal is the paper's prediction.
 
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::{pka_attack_suite, run_coupled_attack};
-use rmt_core::cuts::find_rmt_cut;
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::protocols::attacks::PKA_ATTACKS;
 use rmt_core::sampling::random_instance_nonadjacent;
 use rmt_graph::generators::seeded;
@@ -22,6 +22,10 @@ use rmt_graph::ViewKind;
 
 fn main() {
     let mut rng = seeded(0xE2);
+    let mut exp = Experiment::new("e2_characterization");
+    exp.param("seed", "0xE2");
+    exp.param("trials_per_view", 40);
+    exp.param("join_limit", 1 << 14);
     let mut table = Table::new(
         "E2: characterization confusion matrix (random instances, ad hoc + radius-2 views)",
         &[
@@ -44,7 +48,7 @@ fn main() {
         for trial in 0..trials {
             let n = 6 + trial % 4;
             let inst = random_instance_nonadjacent(n, 0.35, views, 3, 2, &mut rng);
-            match find_rmt_cut(&inst) {
+            match find_rmt_cut_observed(&inst, exp.registry()) {
                 None => {
                     solvable += 1;
                     let report = pka_attack_suite(&inst, 7, &PKA_ATTACKS, trial as u64);
@@ -88,6 +92,8 @@ fn main() {
         ]);
     }
     table.print();
+    exp.record_table(&table);
+    exp.finish();
     println!("Shape check: perfect diagonal — protocol success exactly where no RMT-cut");
     println!("exists, provable blocking (equal receiver views) exactly where one does.");
 }

@@ -7,10 +7,10 @@
 //! radius to confirm the characterization operationally. Monotonicity in k
 //! (more knowledge never hurts) is asserted along the way.
 
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::minimal_knowledge_radius;
 use rmt_core::analysis::pka_attack_suite;
-use rmt_core::cuts::find_rmt_cut;
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::protocols::attacks::PKA_ATTACKS;
 use rmt_core::sampling::random_structure;
 use rmt_core::Instance;
@@ -20,6 +20,10 @@ use rmt_graph::ViewKind;
 fn main() {
     let mut rng = seeded(0xE4);
     let max_k = 4;
+    let mut exp = Experiment::new("e4_knowledge_gradient");
+    exp.param("seed", "0xE4");
+    exp.param("trials_per_family", 30);
+    exp.param("max_k", max_k as i64);
     let mut table = Table::new(
         "E4: solvability vs view radius (30 instances per family)",
         &[
@@ -55,7 +59,7 @@ fn main() {
             let mut prev_solvable = false;
             for (k, slot) in solvable_at.iter_mut().enumerate() {
                 let inst = Instance::new(g.clone(), z.clone(), ViewKind::Radius(k), d, r).unwrap();
-                let s = find_rmt_cut(&inst).is_none();
+                let s = find_rmt_cut_observed(&inst, exp.registry()).is_none();
                 assert!(!prev_solvable || s, "knowledge monotonicity violated");
                 prev_solvable = s;
                 if s {
@@ -97,7 +101,7 @@ fn main() {
             9.into(),
         )
         .unwrap();
-        *slot = rmt_core::cuts::find_rmt_cut(&inst).is_none();
+        *slot = find_rmt_cut_observed(&inst, exp.registry()).is_none();
     }
     let min_k = minimal_knowledge_radius(&g, &z, 0.into(), 9.into(), max_k).unwrap();
     let inst = Instance::new(g.clone(), z, ViewKind::Radius(min_k), 0.into(), 9.into()).unwrap();
@@ -114,6 +118,8 @@ fn main() {
     ]);
 
     table.print();
+    exp.record_table(&table);
+    exp.finish();
     println!("Shape check: solvability is monotone in k; RMT-PKA succeeds at exactly the");
     println!("minimal radius the RMT-cut characterization predicts (unique algorithm).");
     println!("The staggered-theta row exhibits a strict gap: unsolvable ad hoc/radius-1,");

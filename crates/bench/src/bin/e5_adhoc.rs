@@ -11,9 +11,9 @@
 //!    threshold trace decide identically on every node.
 
 use rand::Rng;
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::zcpa_attack_suite;
-use rmt_core::cuts::{zpp_cut_by_enumeration, zpp_cut_by_fixpoint};
+use rmt_core::cuts::{zpp_cut_by_enumeration, zpp_cut_by_fixpoint_observed};
 use rmt_core::protocols::attacks::ZCPA_ATTACKS;
 use rmt_core::protocols::cpa::{zcpa_threshold_node, CpaClassic};
 use rmt_core::sampling::{random_instance_nonadjacent, random_structure};
@@ -26,6 +26,9 @@ use rmt_sim::{Runner, SilentAdversary};
 fn main() {
     let mut rng = seeded(0xE5);
     let trials = 60;
+    let mut exp = Experiment::new("e5_adhoc");
+    exp.param("seed", "0xE5");
+    exp.param("trials", trials as i64);
 
     // 1 + 2: deciders agree; protocol matches the characterization.
     let mut agree = 0;
@@ -35,7 +38,7 @@ fn main() {
         let n = 6 + trial % 4;
         let inst = random_instance_nonadjacent(n, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
         let enumerated = zpp_cut_by_enumeration(&inst).is_some();
-        let fixpoint = zpp_cut_by_fixpoint(&inst).is_some();
+        let fixpoint = zpp_cut_by_fixpoint_observed(&inst, exp.registry()).is_some();
         if enumerated == fixpoint {
             agree += 1;
         } else {
@@ -114,6 +117,9 @@ fn main() {
         format!("{nodes_equal}/{nodes_checked}"),
     ]);
     t2.print();
+    exp.record_table(&t1);
+    exp.record_table(&t2);
+    exp.finish();
 
     println!("Shape check: full agreement in all three columns — the polynomial fixpoint");
     println!("decider, the exhaustive cut search, the protocol, and the CPA special case");

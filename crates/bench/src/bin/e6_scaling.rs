@@ -7,7 +7,8 @@
 //! message count grows linearly-to-quadratically in n, RMT-PKA's explodes
 //! with the simple-path count of the family.
 
-use rmt_bench::{fmt_duration, timed, Table};
+use rmt_bench::{fmt_duration, timed, Experiment, Table};
+use rmt_core::cuts::zcpa_fixpoint_observed;
 use rmt_core::protocols::rmt_pka::RmtPka;
 use rmt_core::protocols::zcpa::run_zcpa;
 use rmt_core::sampling::threshold_instance;
@@ -17,6 +18,9 @@ use rmt_sets::NodeSet;
 use rmt_sim::SilentAdversary;
 
 fn main() {
+    let mut exp = Experiment::new("e6_scaling");
+    exp.param("seed", "0xE6");
+    exp.param("dealer_value", 7);
     let mut table = Table::new(
         "E6: honest-run complexity, Z-CPA vs RMT-PKA (threshold 𝒵, adaptive t)",
         &[
@@ -69,6 +73,9 @@ fn main() {
             })
             .expect("t = 0 is always resilient on a connected graph");
         let inst = threshold_instance(g, t, ViewKind::AdHoc, d, r);
+        // Honest-run certification fixpoint through the instrumented decider:
+        // its sweep/check counters land in the artifact.
+        let _ = zcpa_fixpoint_observed(&inst, &NodeSet::new(), exp.registry());
         let (zcpa, t_z) = timed(|| run_zcpa(&inst, 7, SilentAdversary::new(NodeSet::new())));
         assert_eq!(
             zcpa.decision(inst.receiver()),
@@ -111,6 +118,7 @@ fn main() {
         let g = generators::king_grid(w, w);
         let n = g.node_count();
         let inst = threshold_instance(g, 1, ViewKind::AdHoc, 0, (w * w - 1) as u32);
+        let _ = zcpa_fixpoint_observed(&inst, &NodeSet::new(), exp.registry());
         let (out, t) = timed(|| run_zcpa(&inst, 7, SilentAdversary::new(NodeSet::new())));
         assert_eq!(out.decision(inst.receiver()), Some(7), "grid {w}×{w}");
         big.row(&[
@@ -122,6 +130,9 @@ fn main() {
         ]);
     }
     big.print();
+    exp.record_table(&table);
+    exp.record_table(&big);
+    exp.finish();
     println!("Shape check: Z-CPA columns grow polynomially with n; the PKA columns track");
     println!("the simple-path count (exponential on the layered family) — exactly the");
     println!("efficiency gap motivating the poly-time-uniqueness question of Section 5.");

@@ -8,7 +8,7 @@
 //! experiment also reports the number of Π simulations and the wall-clock
 //! overhead factor — polynomial, as the theorem promises.
 
-use rmt_bench::{mean, timed, Table};
+use rmt_bench::{mean, timed, Experiment, Table};
 use rmt_core::protocols::zcpa::ZCpa;
 use rmt_core::reduction::PiSimulationOracle;
 use rmt_core::sampling::random_instance;
@@ -18,6 +18,9 @@ use rmt_sim::{Runner, SilentAdversary};
 
 fn main() {
     let mut rng = seeded(0xE7);
+    let mut exp = Experiment::new("e7_self_reduction");
+    exp.param("seed", "0xE7");
+    exp.param("trials_per_n", 20);
     let mut table = Table::new(
         "E7: Z-CPA explicit oracle vs Π-simulation oracle (20 instances per n)",
         &[
@@ -100,6 +103,8 @@ fn main() {
         ]);
     }
     table.print();
+    exp.record_table(&table);
+    exp.finish();
     println!("Shape check: decisions identical everywhere (the Decision Protocol answers");
     println!("every membership query correctly); simulations grow polynomially with n, so");
     println!("Z-CPA-with-Π stays fully polynomial — Corollary 10 in action.");

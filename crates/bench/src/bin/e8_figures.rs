@@ -10,9 +10,9 @@
 //! whole point of the construction.
 
 use rmt_adversary::AdversaryStructure;
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::run_coupled_attack;
-use rmt_core::cuts::find_rmt_cut;
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::protocols::rmt_pka::RmtPka;
 use rmt_core::reduction::StarInstance;
 use rmt_core::Instance;
@@ -25,11 +25,13 @@ fn set(ids: &[u32]) -> NodeSet {
 }
 
 fn main() {
-    figure_1();
-    figure_2();
+    let mut exp = Experiment::new("e8_figures");
+    figure_1(&mut exp);
+    figure_2(&mut exp);
+    exp.finish();
 }
 
-fn figure_1() {
+fn figure_1(exp: &mut Experiment) {
     let mut table = Table::new(
         "F1: the 𝒢′ star family (middle m, structure 𝒵′) — solvability and Π under worst silence",
         &[
@@ -73,11 +75,12 @@ fn figure_1() {
         ]);
     }
     table.print();
+    exp.record_table(&table);
     println!("Shape check: Π succeeds exactly on the solvable members of 𝒢′ — the promise");
     println!("family the self-reduction (Theorem 9) quantifies over.\n");
 }
 
-fn figure_2() {
+fn figure_2(exp: &mut Experiment) {
     // The canonical unsolvable diamond: D=0, relays 1,2, R=3, 𝒵 = {{1},{2}}.
     let mut g = Graph::new();
     g.add_edge(0.into(), 1.into());
@@ -86,7 +89,7 @@ fn figure_2() {
     g.add_edge(2.into(), 3.into());
     let z = AdversaryStructure::from_sets([set(&[1]), set(&[2])]);
     let inst = Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
-    let witness = find_rmt_cut(&inst).expect("diamond is unsolvable");
+    let witness = find_rmt_cut_observed(&inst, exp.registry()).expect("diamond is unsolvable");
 
     println!("## F2: coupled runs e₀/e₁ on the unsolvable diamond");
     println!(
@@ -164,6 +167,7 @@ fn figure_2() {
         table.row(&[round.to_string(), a, b, eq.to_string()]);
     }
     table.print();
+    exp.record_table(&table);
     println!("Shape check: every row equal — R provably cannot distinguish the two runs,");
     println!("so no safe protocol can decide (the Theorem 3 lower bound, executed).");
 }

@@ -9,9 +9,9 @@
 //!   "RMT solvable for every receiver", and simulated broadcast Z-CPA covers
 //!   exactly the fixpoint-predicted node set.
 
-use rmt_bench::Table;
+use rmt_bench::{Experiment, Table};
 use rmt_core::broadcast;
-use rmt_core::cuts::find_rmt_cut;
+use rmt_core::cuts::find_rmt_cut_observed;
 use rmt_core::protocols::ppa::{pair_cut_exists, run_ppa};
 use rmt_core::sampling::{random_instance_nonadjacent, random_structure};
 use rmt_core::Instance;
@@ -22,6 +22,9 @@ use rmt_sim::{Runner, SilentAdversary};
 fn main() {
     let mut rng = seeded(0xE9);
     let trials = 50;
+    let mut exp = Experiment::new("e9_baselines");
+    exp.param("seed", "0xE9");
+    exp.param("trials", trials as i64);
 
     // E9a: full knowledge.
     let mut cut_agree = 0;
@@ -31,7 +34,7 @@ fn main() {
         let n = 5 + trial % 5;
         let inst = random_instance_nonadjacent(n, 0.35, ViewKind::Full, 3, 2, &mut rng);
         let pair = pair_cut_exists(&inst);
-        if pair == find_rmt_cut(&inst).is_some() {
+        if pair == find_rmt_cut_observed(&inst, exp.registry()).is_some() {
             cut_agree += 1;
         } else {
             eprintln!("CUT MISMATCH on {inst:?}");
@@ -119,6 +122,9 @@ fn main() {
         format!("{coverage_match}/{coverage_checked}"),
     ]);
     t2.print();
+    exp.record_table(&t1);
+    exp.record_table(&t2);
+    exp.finish();
 
     println!("Shape check: both classical special cases drop out of the general machinery");
     println!("with exact agreement — the subsumption the general adversary model promises.");

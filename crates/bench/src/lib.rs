@@ -12,6 +12,8 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+use rmt_obs::{Json, Registry};
+
 /// A plain-text table with aligned columns, printed by the experiment
 /// binaries.
 #[derive(Clone, Debug, Default)]
@@ -58,7 +60,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -71,6 +75,130 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+}
+
+/// One experiment run with an optional machine-readable artifact.
+///
+/// Every `e*` binary drives its run through an `Experiment`: tables print as
+/// before, and when the binary is invoked with `--json` the run additionally
+/// writes `BENCH_E<k>.json` — a single schema'd object
+///
+/// ```json
+/// {"experiment": ..., "params": {...}, "measurements": [...],
+///  "wall_ns": ..., "counters": {...}}
+/// ```
+///
+/// where `measurements` holds one object per recorded table row (numeric
+/// cells coerced to numbers) and `counters` is the snapshot of
+/// [`Experiment::registry`] — populated by the instrumented deciders
+/// (`find_rmt_cut_observed`, `zpp_cut_by_fixpoint_observed`,
+/// `materialize_bounded_observed`, …).
+pub struct Experiment {
+    name: String,
+    json: bool,
+    params: Vec<(String, Json)>,
+    measurements: Vec<Json>,
+    registry: Registry,
+    start: Instant,
+}
+
+impl Experiment {
+    /// Creates the experiment named `name` (e.g. `"e3_safety"`), reading
+    /// `--json` from the process arguments.
+    pub fn new(name: &str) -> Self {
+        let json = std::env::args().skip(1).any(|a| a == "--json");
+        Experiment {
+            name: name.to_string(),
+            json,
+            params: Vec::new(),
+            measurements: Vec::new(),
+            registry: Registry::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// `true` when `--json` was passed: the run will write an artifact.
+    pub fn json_enabled(&self) -> bool {
+        self.json
+    }
+
+    /// The metrics registry to hand to instrumented deciders; its snapshot
+    /// becomes the artifact's `counters` field.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one experiment parameter.
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) {
+        self.params.push((key.to_string(), value.into()));
+    }
+
+    /// Records one measurement object.
+    pub fn record(&mut self, measurement: Json) {
+        self.measurements.push(measurement);
+    }
+
+    /// Records every row of `table` as a measurement object keyed by the
+    /// table's headers, coercing numeric-looking cells to numbers.
+    pub fn record_table(&mut self, table: &Table) {
+        for row in &table.rows {
+            let fields = table
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, cell)| (h.clone(), coerce_cell(cell)))
+                .collect();
+            self.measurements.push(Json::Obj(fields));
+        }
+    }
+
+    /// The artifact path: `BENCH_E<k>.json`, with `E<k>` derived from the
+    /// experiment name's leading segment (`"e10_placement"` → `BENCH_E10.json`).
+    pub fn artifact_path(&self) -> std::path::PathBuf {
+        let id = self
+            .name
+            .split('_')
+            .next()
+            .unwrap_or(&self.name)
+            .to_uppercase();
+        std::path::PathBuf::from(format!("BENCH_{id}.json"))
+    }
+
+    /// Writes the artifact if `--json` was passed. Call last.
+    pub fn finish(self) {
+        if !self.json {
+            return;
+        }
+        let path = self.artifact_path();
+        let artifact = Json::obj([
+            ("experiment", Json::from(self.name.as_str())),
+            ("params", Json::Obj(self.params)),
+            ("measurements", Json::Arr(self.measurements)),
+            (
+                "wall_ns",
+                Json::from(i64::try_from(self.start.elapsed().as_nanos()).unwrap_or(i64::MAX)),
+            ),
+            ("counters", self.registry.to_json()),
+        ]);
+        let mut text = artifact.encode();
+        text.push('\n');
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn coerce_cell(cell: &str) -> Json {
+    if let Ok(n) = cell.parse::<i64>() {
+        return Json::Int(n);
+    }
+    if let Ok(x) = cell.parse::<f64>() {
+        if x.is_finite() {
+            return Json::Num(x);
+        }
+    }
+    Json::from(cell)
 }
 
 /// Mean of a sample.
@@ -158,6 +286,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_column_table_renders_without_panicking() {
+        // Regression: the rule width computed `2 * (widths.len() - 1)`,
+        // which underflowed for a table with no columns.
+        let t = Table::new("empty", &[]);
+        let s = t.render();
+        assert!(s.contains("## empty"));
+        let mut one = Table::new("one", &["only"]);
+        one.row(&["x"]);
+        assert!(one.render().contains("only"));
+    }
+
+    #[test]
     #[should_panic(expected = "arity")]
     fn table_rejects_wrong_arity() {
         let mut t = Table::new("demo", &["a", "b"]);
@@ -178,6 +318,23 @@ mod tests {
         assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
         let single = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
         assert_eq!(single, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn experiment_artifact_naming_and_row_coercion() {
+        let mut exp = Experiment::new("e10_placement");
+        assert_eq!(exp.artifact_path().to_str(), Some("BENCH_E10.json"));
+        assert_eq!(
+            Experiment::new("e3_safety").artifact_path().to_str(),
+            Some("BENCH_E3.json")
+        );
+        let mut t = Table::new("demo", &["attack", "runs", "rate"]);
+        t.row(&["silent".to_string(), "50".to_string(), "0.5".to_string()]);
+        exp.record_table(&t);
+        let m = &exp.measurements[0];
+        assert_eq!(m.get("attack").and_then(Json::as_str), Some("silent"));
+        assert_eq!(m.get("runs").and_then(Json::as_i64), Some(50));
+        assert_eq!(m.get("rate").and_then(Json::as_f64), Some(0.5));
     }
 
     #[test]

@@ -83,6 +83,36 @@ pub fn run_coupled_attack(
     x1: Value,
     join_limit: usize,
 ) -> Result<CoupledAttackReport, CoupledAttackError> {
+    run_coupled_attack_observed(
+        inst,
+        witness,
+        x0,
+        x1,
+        join_limit,
+        &mut rmt_obs::NoopObserver,
+        &mut rmt_obs::NoopObserver,
+    )
+}
+
+/// [`run_coupled_attack`] with run e streamed through `obs_e` and run e′
+/// through `obs_e2` (see [`CoupledRunner::run_observed`]).
+///
+/// The `rmt-trace` tool records both streams to JSONL and diffs them
+/// restricted to the receiver's view, exhibiting Figure 2 mechanically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_coupled_attack_observed<O1, O2>(
+    inst: &Instance,
+    witness: &RmtCutWitness,
+    x0: Value,
+    x1: Value,
+    join_limit: usize,
+    obs_e: &mut O1,
+    obs_e2: &mut O2,
+) -> Result<CoupledAttackReport, CoupledAttackError>
+where
+    O1: rmt_obs::RunObserver,
+    O2: rmt_obs::RunObserver,
+{
     let cache = KnowledgeCache::new(inst);
     let b = &witness.receiver_component;
 
@@ -111,7 +141,7 @@ pub fn run_coupled_attack(
         |v| RmtPka::node(inst, v, x0),
         |v| RmtPka::node(&inst_forged, v, x1),
     )
-    .run();
+    .run_observed(obs_e, obs_e2);
 
     let r = inst.receiver();
     let decision_e = outcome.decision_e(r);

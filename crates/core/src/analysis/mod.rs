@@ -10,7 +10,9 @@ pub mod resilience;
 pub mod tolerance;
 
 pub use complexity::{pka_honest_messages, zcpa_honest_messages, TrailBudgetExceeded};
-pub use coupled_attack::{run_coupled_attack, CoupledAttackError, CoupledAttackReport};
+pub use coupled_attack::{
+    run_coupled_attack, run_coupled_attack_observed, CoupledAttackError, CoupledAttackReport,
+};
 pub use feasibility::{
     characterize, minimal_knowledge_radius, quick_unsolvable, solvable_receivers, Characterization,
 };

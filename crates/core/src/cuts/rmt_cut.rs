@@ -20,6 +20,7 @@
 //! with `n ≲ 16` where this is exact and fast enough.
 
 use rmt_graph::traversal;
+use rmt_obs::{Counter, Registry};
 use rmt_sets::NodeSet;
 
 use crate::instance::Instance;
@@ -42,6 +43,15 @@ pub struct RmtCutWitness {
 ///
 /// Returns `None` if `c` is not a D–R cut or no admissible partition exists.
 pub fn is_rmt_cut(inst: &Instance, cache: &KnowledgeCache, c: &NodeSet) -> Option<RmtCutWitness> {
+    is_rmt_cut_counted(inst, cache, c, None)
+}
+
+fn is_rmt_cut_counted(
+    inst: &Instance,
+    cache: &KnowledgeCache,
+    c: &NodeSet,
+    partition_checks: Option<&Counter>,
+) -> Option<RmtCutWitness> {
     let (d, r) = (inst.dealer(), inst.receiver());
     if c.contains(d) || c.contains(r) {
         return None;
@@ -54,6 +64,9 @@ pub fn is_rmt_cut(inst: &Instance, cache: &KnowledgeCache, c: &NodeSet) -> Optio
     let gamma_b = cache.joint_domain(&b);
     for t in inst.adversary().maximal_sets() {
         let c2 = c.difference(t);
+        if let Some(counter) = partition_checks {
+            counter.inc();
+        }
         if cache.joint_contains(&b, &c2.intersection(&gamma_b)) {
             return Some(RmtCutWitness {
                 cut: c.clone(),
@@ -104,6 +117,29 @@ pub fn find_rmt_cut(inst: &Instance) -> Option<RmtCutWitness> {
     candidates
         .subsets()
         .find_map(|c| is_rmt_cut(inst, &cache, &c))
+}
+
+/// [`find_rmt_cut`] with the search effort recorded in `reg`:
+///
+/// * `rmt_cut.candidates_examined` — candidate sets `C` tested;
+/// * `rmt_cut.partition_checks` — `(C₁, C₂)` partitions membership-tested
+///   against 𝒵_B (only reached when `C` is a D–R cut);
+/// * `rmt_cut.search_ns` — wall time of the whole search (histogram).
+pub fn find_rmt_cut_observed(inst: &Instance, reg: &Registry) -> Option<RmtCutWitness> {
+    let _timer = reg.timer("rmt_cut.search_ns");
+    let candidates_examined = reg.counter("rmt_cut.candidates_examined");
+    let partition_checks = reg.counter("rmt_cut.partition_checks");
+    let cache = KnowledgeCache::new(inst);
+    let mut candidates = inst.graph().nodes().clone();
+    candidates.remove(inst.dealer());
+    candidates.remove(inst.receiver());
+    if inst.graph().has_edge(inst.dealer(), inst.receiver()) {
+        return None;
+    }
+    candidates.subsets().find_map(|c| {
+        candidates_examined.inc();
+        is_rmt_cut_counted(inst, &cache, &c, Some(&partition_checks))
+    })
 }
 
 /// `true` iff the instance admits an RMT-cut — i.e. (Theorems 3 + 5) iff no
@@ -199,6 +235,21 @@ mod tests {
         )
         .unwrap();
         assert!(!rmt_cut_exists(&inst));
+    }
+
+    #[test]
+    fn observed_search_matches_and_counts() {
+        let reg = rmt_obs::Registry::new();
+        for z in [
+            AdversaryStructure::from_sets([set(&[1])]),
+            AdversaryStructure::from_sets([set(&[1]), set(&[2])]),
+        ] {
+            let inst = Instance::new(diamond(), z, ViewKind::AdHoc, 0.into(), 3.into()).unwrap();
+            assert_eq!(find_rmt_cut(&inst), find_rmt_cut_observed(&inst, &reg));
+        }
+        assert!(reg.counter("rmt_cut.candidates_examined").get() > 0);
+        assert!(reg.counter("rmt_cut.partition_checks").get() > 0);
+        assert_eq!(reg.histogram("rmt_cut.search_ns").count(), 2);
     }
 
     #[test]

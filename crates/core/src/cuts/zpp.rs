@@ -18,6 +18,7 @@
 //!   `C₁ = T`, `C₂ = decided`.
 
 use rmt_graph::traversal;
+use rmt_obs::{Counter, Registry};
 use rmt_sets::NodeSet;
 
 use crate::instance::Instance;
@@ -93,19 +94,38 @@ pub fn zpp_cut_by_enumeration(inst: &Instance) -> Option<ZppCutWitness> {
 /// nodes downstream of R: R's own status is unaffected, because any node
 /// that would need R's relay decides strictly after R).
 pub fn zcpa_fixpoint(inst: &Instance, corrupted: &NodeSet) -> NodeSet {
-    certified_fixpoint(inst, corrupted, Some(inst.receiver()))
+    certified_fixpoint(inst, corrupted, Some(inst.receiver()), None)
+}
+
+/// [`zcpa_fixpoint`] with the fixpoint effort recorded in `reg`:
+///
+/// * `zcpa.sweeps` — full passes over the node set until stabilization;
+/// * `zcpa.certification_checks` — membership tests of a certifier set
+///   against a local structure 𝒵_u.
+pub fn zcpa_fixpoint_observed(inst: &Instance, corrupted: &NodeSet, reg: &Registry) -> NodeSet {
+    let stats = FixpointStats {
+        sweeps: reg.counter("zcpa.sweeps"),
+        certification_checks: reg.counter("zcpa.certification_checks"),
+    };
+    certified_fixpoint(inst, corrupted, Some(inst.receiver()), Some(&stats))
 }
 
 /// The broadcast variant of [`zcpa_fixpoint`]: no distinguished receiver,
 /// every decided node relays (used by [`broadcast`](crate::broadcast)).
 pub fn zcpa_fixpoint_broadcast(inst: &Instance, corrupted: &NodeSet) -> NodeSet {
-    certified_fixpoint(inst, corrupted, None)
+    certified_fixpoint(inst, corrupted, None, None)
+}
+
+struct FixpointStats {
+    sweeps: Counter,
+    certification_checks: Counter,
 }
 
 fn certified_fixpoint(
     inst: &Instance,
     corrupted: &NodeSet,
     non_relaying: Option<rmt_sets::NodeId>,
+    stats: Option<&FixpointStats>,
 ) -> NodeSet {
     let g = inst.graph();
     let d = inst.dealer();
@@ -113,6 +133,9 @@ fn certified_fixpoint(
     let mut changed = true;
     while changed {
         changed = false;
+        if let Some(s) = stats {
+            s.sweeps.inc();
+        }
         for u in g.nodes() {
             if u == d || decided.contains(u) || corrupted.contains(u) {
                 continue;
@@ -120,6 +143,9 @@ fn certified_fixpoint(
             let mut certifiers = g.neighbors(u).intersection(&decided);
             if let Some(r) = non_relaying {
                 certifiers.remove(r);
+            }
+            if let Some(s) = stats {
+                s.certification_checks.inc();
             }
             if !inst.local_structure(u).contains(&certifiers) {
                 decided.insert(u);
@@ -149,8 +175,41 @@ pub fn zpp_cut_by_fixpoint(inst: &Instance) -> Option<ZppCutWitness> {
             c2: NodeSet::new(),
         });
     }
+    zpp_fixpoint_search(inst, |t| zcpa_fixpoint(inst, t))
+}
+
+/// [`zpp_cut_by_fixpoint`] with decision effort recorded in `reg`:
+/// everything [`zcpa_fixpoint_observed`] records, plus
+///
+/// * `zpp.corruption_sets_checked` — maximal corruption sets tried;
+/// * `zpp.decide_ns` — wall time of the whole decision (histogram).
+pub fn zpp_cut_by_fixpoint_observed(inst: &Instance, reg: &Registry) -> Option<ZppCutWitness> {
+    let _timer = reg.timer("zpp.decide_ns");
+    let (d, r) = (inst.dealer(), inst.receiver());
+    if inst.graph().has_edge(d, r) {
+        return None;
+    }
+    if !inst.endpoints_connected() {
+        return Some(ZppCutWitness {
+            cut: NodeSet::new(),
+            c1: NodeSet::new(),
+            c2: NodeSet::new(),
+        });
+    }
+    let sets_checked = reg.counter("zpp.corruption_sets_checked");
+    zpp_fixpoint_search(inst, |t| {
+        sets_checked.inc();
+        zcpa_fixpoint_observed(inst, t, reg)
+    })
+}
+
+fn zpp_fixpoint_search(
+    inst: &Instance,
+    mut fixpoint: impl FnMut(&NodeSet) -> NodeSet,
+) -> Option<ZppCutWitness> {
+    let (d, r) = (inst.dealer(), inst.receiver());
     for t in inst.worst_case_corruptions() {
-        let decided = zcpa_fixpoint(inst, &t);
+        let decided = fixpoint(&t);
         if !decided.contains(r) {
             // Only the part of T that actually matters for separation needs
             // to be in the cut; T itself is admissible and sufficient.
@@ -273,6 +332,33 @@ mod tests {
             assert_eq!(enumerated, fixpoint, "trial {trial}: {inst:?}");
             assert_eq!(fixpoint, !zcpa_resilient(&inst), "trial {trial}");
         }
+    }
+
+    #[test]
+    fn observed_deciders_match_and_count() {
+        let reg = rmt_obs::Registry::new();
+        let mut rng = generators::seeded(7);
+        for trial in 0..20 {
+            let n = 5 + (trial % 3);
+            let g = generators::gnp_connected(n, 0.4, &mut rng);
+            let z = crate::sampling::random_structure(g.nodes(), 3, 2, &mut rng);
+            let inst = adhoc(g, z, 0, (n as u32) - 1);
+            assert_eq!(
+                zpp_cut_by_fixpoint(&inst),
+                zpp_cut_by_fixpoint_observed(&inst, &reg),
+                "trial {trial}"
+            );
+            for t in inst.worst_case_corruptions() {
+                assert_eq!(
+                    zcpa_fixpoint(&inst, &t),
+                    zcpa_fixpoint_observed(&inst, &t, &reg)
+                );
+            }
+        }
+        assert!(reg.counter("zcpa.sweeps").get() > 0);
+        assert!(reg.counter("zcpa.certification_checks").get() > 0);
+        assert!(reg.counter("zpp.corruption_sets_checked").get() > 0);
+        assert_eq!(reg.histogram("zpp.decide_ns").count(), 20);
     }
 
     #[test]

@@ -104,7 +104,7 @@ mod tests {
             .iter()
             .filter(|&v| {
                 let without = g.without_nodes(&NodeSet::singleton(v));
-                traversal::components(&without).len() > base || (g.degree(v) == 0 && false)
+                traversal::components(&without).len() > base
             })
             .collect()
     }

@@ -1,0 +1,474 @@
+//! The structured run-event model and observer interface.
+//!
+//! The paper's arguments are about *what a node can observe*: the lower
+//! bounds (Theorems 3/8, Figure 2) hinge on a receiver seeing identical
+//! message traces across two coupled runs. [`RunEvent`] makes a run's
+//! observable history first-class — every send, rejection, delivery and
+//! decision — so indistinguishability can be checked from traces instead of
+//! argued informally.
+//!
+//! Observers implement [`RunObserver`]; the scheduler in `rmt-sim` only
+//! constructs events when `O::ACTIVE` is `true`, so the default
+//! [`NoopObserver`] is zero-overhead (monomorphization removes both the
+//! event construction and the call).
+//!
+//! Payload and decision values are carried as strings (their `Debug` form):
+//! the event model is protocol-agnostic and serializes losslessly to JSONL.
+
+use std::io::{self, Write};
+
+use crate::json::Json;
+
+/// Why the scheduler rejected an adversarial envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The claimed sender is not in the corrupted set (authenticated
+    /// channels forbid forging honest senders).
+    ForgedSender,
+    /// The graph has no such edge.
+    NoSuchEdge,
+}
+
+impl RejectReason {
+    /// Snake-case wire name (used in JSON and text renderings).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::ForgedSender => "forged_sender",
+            RejectReason::NoSuchEdge => "no_such_edge",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "forged_sender" => Some(RejectReason::ForgedSender),
+            "no_such_edge" => Some(RejectReason::NoSuchEdge),
+            _ => None,
+        }
+    }
+}
+
+/// One observable step of a run.
+///
+/// Rounds follow the scheduler's numbering: messages produced in round `r`
+/// are delivered in round `r + 1`; round 0 is the initial send phase.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunEvent {
+    /// The run began.
+    RunStart {
+        /// Number of nodes in the graph.
+        nodes: u32,
+        /// The corrupted set.
+        corrupted: Vec<u32>,
+    },
+    /// A delivery round began.
+    RoundStart {
+        /// The round number (≥ 1).
+        round: u32,
+    },
+    /// An honest node handed a message to the scheduler.
+    HonestSend {
+        /// Round in which the send was produced.
+        round: u32,
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Wire size per the payload's own accounting.
+        bits: u64,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// The adversary injected a (model-valid) message.
+    AdversarialSend {
+        /// Round in which the send was produced.
+        round: u32,
+        /// Sender (a corrupted node).
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// An adversarial envelope violated the physical model and was dropped.
+    RejectedSend {
+        /// Round in which the attempt happened.
+        round: u32,
+        /// Claimed sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Which rule it violated.
+        reason: RejectReason,
+    },
+    /// A message arrived at its recipient.
+    Delivery {
+        /// The delivery round.
+        round: u32,
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// An honest node decided (first round at which its decision became
+    /// non-`None`).
+    Decision {
+        /// Round after which the decision was observed.
+        round: u32,
+        /// The deciding node.
+        node: u32,
+        /// `Debug` rendering of the decision value.
+        value: String,
+    },
+    /// The run ended.
+    RunEnd {
+        /// Rounds executed.
+        rounds: u32,
+    },
+}
+
+impl RunEvent {
+    /// The event's JSON object form (`{"type": ..., ...}`).
+    pub fn to_json(&self) -> Json {
+        match self {
+            RunEvent::RunStart { nodes, corrupted } => Json::obj([
+                ("type", Json::from("run_start")),
+                ("nodes", Json::from(*nodes)),
+                ("corrupted", Json::from(corrupted.clone())),
+            ]),
+            RunEvent::RoundStart { round } => Json::obj([
+                ("type", Json::from("round_start")),
+                ("round", Json::from(*round)),
+            ]),
+            RunEvent::HonestSend {
+                round,
+                from,
+                to,
+                bits,
+                payload,
+            } => Json::obj([
+                ("type", Json::from("honest_send")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("bits", Json::from(*bits)),
+                ("payload", Json::from(payload.clone())),
+            ]),
+            RunEvent::AdversarialSend {
+                round,
+                from,
+                to,
+                payload,
+            } => Json::obj([
+                ("type", Json::from("adversarial_send")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("payload", Json::from(payload.clone())),
+            ]),
+            RunEvent::RejectedSend {
+                round,
+                from,
+                to,
+                reason,
+            } => Json::obj([
+                ("type", Json::from("rejected_send")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            RunEvent::Delivery {
+                round,
+                from,
+                to,
+                payload,
+            } => Json::obj([
+                ("type", Json::from("delivery")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("payload", Json::from(payload.clone())),
+            ]),
+            RunEvent::Decision { round, node, value } => Json::obj([
+                ("type", Json::from("decision")),
+                ("round", Json::from(*round)),
+                ("node", Json::from(*node)),
+                ("value", Json::from(value.clone())),
+            ]),
+            RunEvent::RunEnd { rounds } => Json::obj([
+                ("type", Json::from("run_end")),
+                ("rounds", Json::from(*rounds)),
+            ]),
+        }
+    }
+
+    /// Parses the JSON object form back into an event.
+    pub fn from_json(v: &Json) -> Result<RunEvent, String> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event without type: {v}"))?;
+        let u32_field = |k: &str| -> Result<u32, String> {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("{ty}: missing/invalid field '{k}'"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| format!("{ty}: missing/invalid field '{k}'"))
+        };
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{ty}: missing/invalid field '{k}'"))
+        };
+        match ty {
+            "run_start" => {
+                let corrupted = v
+                    .get("corrupted")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "run_start: missing corrupted".to_string())?
+                    .iter()
+                    .map(|x| {
+                        x.as_i64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| "run_start: bad corrupted entry".to_string())
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(RunEvent::RunStart {
+                    nodes: u32_field("nodes")?,
+                    corrupted,
+                })
+            }
+            "round_start" => Ok(RunEvent::RoundStart {
+                round: u32_field("round")?,
+            }),
+            "honest_send" => Ok(RunEvent::HonestSend {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                bits: u64_field("bits")?,
+                payload: str_field("payload")?,
+            }),
+            "adversarial_send" => Ok(RunEvent::AdversarialSend {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                payload: str_field("payload")?,
+            }),
+            "rejected_send" => Ok(RunEvent::RejectedSend {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                reason: RejectReason::parse(&str_field("reason")?)
+                    .ok_or_else(|| "rejected_send: unknown reason".to_string())?,
+            }),
+            "delivery" => Ok(RunEvent::Delivery {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                payload: str_field("payload")?,
+            }),
+            "decision" => Ok(RunEvent::Decision {
+                round: u32_field("round")?,
+                node: u32_field("node")?,
+                value: str_field("value")?,
+            }),
+            "run_end" => Ok(RunEvent::RunEnd {
+                rounds: u32_field("rounds")?,
+            }),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+}
+
+/// A sink for [`RunEvent`]s.
+///
+/// Implementations with `ACTIVE = false` (the [`NoopObserver`]) cost
+/// nothing: instrumented code checks the constant before constructing
+/// events, and monomorphization eliminates the dead branch.
+pub trait RunObserver {
+    /// Whether events should be constructed and delivered at all.
+    const ACTIVE: bool = true;
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &RunEvent);
+}
+
+/// The zero-overhead default observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {
+    const ACTIVE: bool = false;
+
+    fn on_event(&mut self, _event: &RunEvent) {}
+}
+
+/// Collects every event in memory.
+#[derive(Clone, Debug, Default)]
+pub struct VecObserver {
+    /// The events, in emission order.
+    pub events: Vec<RunEvent>,
+}
+
+impl VecObserver {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        VecObserver::default()
+    }
+}
+
+impl RunObserver for VecObserver {
+    fn on_event(&mut self, event: &RunEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to a writer.
+pub struct JsonlObserver<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlObserver {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Unwraps, surfacing any deferred I/O error.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.writer),
+        }
+    }
+}
+
+impl<W: Write> RunObserver for JsonlObserver<W> {
+    fn on_event(&mut self, event: &RunEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json().encode();
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Fans events out to two observers; active if either is.
+impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
+    const ACTIVE: bool = A::ACTIVE || B::ACTIVE;
+
+    fn on_event(&mut self, event: &RunEvent) {
+        if A::ACTIVE {
+            self.0.on_event(event);
+        }
+        if B::ACTIVE {
+            self.1.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<RunEvent> {
+        vec![
+            RunEvent::RunStart {
+                nodes: 4,
+                corrupted: vec![1],
+            },
+            RunEvent::HonestSend {
+                round: 0,
+                from: 0,
+                to: 2,
+                bits: 64,
+                payload: "7".into(),
+            },
+            RunEvent::RoundStart { round: 1 },
+            RunEvent::Delivery {
+                round: 1,
+                from: 0,
+                to: 2,
+                payload: "7".into(),
+            },
+            RunEvent::AdversarialSend {
+                round: 1,
+                from: 1,
+                to: 3,
+                payload: "9".into(),
+            },
+            RunEvent::RejectedSend {
+                round: 1,
+                from: 0,
+                to: 1,
+                reason: RejectReason::ForgedSender,
+            },
+            RunEvent::Decision {
+                round: 2,
+                node: 2,
+                value: "7".into(),
+            },
+            RunEvent::RunEnd { rounds: 2 },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        for ev in sample_events() {
+            let back = RunEvent::from_json(&ev.to_json()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn jsonl_observer_streams_parseable_lines() {
+        let mut obs = JsonlObserver::new(Vec::<u8>::new());
+        for ev in sample_events() {
+            obs.on_event(&ev);
+        }
+        let bytes = obs.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<RunEvent> = crate::json::parse_jsonl(&text)
+            .unwrap()
+            .iter()
+            .map(|v| RunEvent::from_json(v).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn noop_is_inactive_and_vec_collects() {
+        const { assert!(!NoopObserver::ACTIVE) };
+        const { assert!(VecObserver::ACTIVE) };
+        const { assert!(<(NoopObserver, VecObserver)>::ACTIVE) };
+        const { assert!(!<(NoopObserver, NoopObserver)>::ACTIVE) };
+        let mut v = VecObserver::new();
+        v.on_event(&RunEvent::RoundStart { round: 1 });
+        assert_eq!(v.events.len(), 1);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        assert!(RunEvent::from_json(&Json::obj([("type", Json::from("nope"))])).is_err());
+        assert!(RunEvent::from_json(&Json::Null).is_err());
+        assert!(RunEvent::from_json(&Json::obj([
+            ("type", Json::from("decision")),
+            ("round", Json::from(1u64)),
+        ]))
+        .is_err());
+    }
+}

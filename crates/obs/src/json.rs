@@ -1,0 +1,559 @@
+//! A hand-rolled JSON value, encoder and parser.
+//!
+//! The build environment is offline, so instead of serde this module
+//! implements the small slice of JSON the observability layer needs:
+//! a [`Json`] tree whose objects **preserve insertion order** (so
+//! encode → parse → encode is a textual fixpoint, which the trace tooling
+//! relies on), a compact encoder, and a recursive-descent parser.
+//!
+//! Numbers are kept in two lexical classes — integers ([`Json::Int`]) and
+//! floats ([`Json::Num`]) — and floats always encode with a decimal point,
+//! so the class survives a round-trip.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent.
+    Int(i64),
+    /// A floating-point number (always encoded with a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact one-line encoding.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    // JSON has no NaN/∞; degrade explicitly.
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep the lexical class: floats carry a decimal point.
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (surrounding whitespace allowed).
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(n: $t) -> Json {
+                Json::Int(n as i64)
+            }
+        }
+    )*};
+}
+
+from_int!(i64, i32, u32, u64, usize);
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 advanced past the digits; compensate for
+                            // the shared `pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is
+                    // always well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input is valid UTF-8");
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u digits"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            // Digit strings wider than i64 (e.g. an encoded 1e300) fall back
+            // to f64 so parse(encode(x)) never rejects our own output.
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Json::Int(n)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| self.err("invalid number")),
+            }
+        }
+    }
+}
+
+/// Encodes a sequence of values as JSON Lines.
+pub fn to_jsonl(values: &[Json]) -> String {
+    let mut out = String::new();
+    for v in values {
+        out.push_str(&v.encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSON Lines (blank lines ignored).
+pub fn parse_jsonl(input: &str) -> Result<Vec<Json>, ParseError> {
+    input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(Json::parse)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in [
+            "null", "true", "false", "0", "-17", "2.5", "1e300", "\"hi\"",
+        ] {
+            let v = Json::parse(text).unwrap();
+            let enc = v.encode();
+            assert_eq!(Json::parse(&enc).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn encode_parse_encode_is_a_fixpoint() {
+        let v = Json::obj([
+            ("experiment", Json::from("e3_safety")),
+            ("params", Json::obj([("trials", Json::from(50u64))])),
+            (
+                "measurements",
+                Json::Arr(vec![Json::obj([
+                    ("attack", Json::from("silent")),
+                    ("wrong", Json::from(0u64)),
+                    ("rate", Json::from(0.25)),
+                    ("whole", Json::from(2.0)),
+                ])]),
+            ),
+            ("note", Json::from("line\nbreak \"quoted\" \\ tab\t")),
+            ("nothing", Json::Null),
+        ]);
+        let once = v.encode();
+        let twice = Json::parse(&once).unwrap().encode();
+        assert_eq!(once, twice);
+        // And a third pass for good measure.
+        assert_eq!(Json::parse(&twice).unwrap().encode(), twice);
+    }
+
+    #[test]
+    fn floats_keep_their_lexical_class() {
+        assert_eq!(Json::Num(2.0).encode(), "2.0");
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Num(2.0));
+        assert_eq!(Json::parse("2").unwrap(), Json::Int(2));
+        assert_eq!(Json::Num(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let text = r#"{"z":1,"a":2,"m":[3,{"q":4}]}"#;
+        assert_eq!(Json::parse(text).unwrap().encode(), text);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "tab\t nl\n quote\" back\\ unicode\u{1F600}\u{1}";
+        let enc = Json::Str(s.to_string()).encode();
+        assert_eq!(Json::parse(&enc).unwrap(), Json::Str(s.to_string()));
+        // Surrogate pair escape parses.
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let values = vec![
+            Json::obj([
+                ("type", Json::from("round_start")),
+                ("round", Json::from(1u64)),
+            ]),
+            Json::obj([("type", Json::from("delivery")), ("from", Json::from(0u64))]),
+        ];
+        let text = to_jsonl(&values);
+        assert_eq!(parse_jsonl(&text).unwrap(), values);
+        assert_eq!(to_jsonl(&parse_jsonl(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = Json::parse("{\"a\": }").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj([("k", Json::from(3u64)), ("s", Json::from("x"))]);
+        assert_eq!(v.get("k").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Json::from(vec![1u64]).as_arr().map(<[Json]>::len), Some(1));
+    }
+}

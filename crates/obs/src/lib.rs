@@ -1,0 +1,28 @@
+//! Observability for the `rmt` workspace.
+//!
+//! `rmt-obs` is dependency-free (std only) and provides three layers:
+//!
+//! - [`event`] — a structured [`RunEvent`] model for protocol executions and
+//!   the [`RunObserver`] trait the simulator streams events through. The
+//!   default [`NoopObserver`] has `ACTIVE = false`, so instrumented code
+//!   monomorphizes to the uninstrumented hot path.
+//! - [`registry`] — a global-free metrics [`Registry`]: atomic counters,
+//!   gauges and power-of-two histograms with [`ScopedTimer`] for durations.
+//! - [`json`] — a hand-rolled [`Json`] value with an encoder/parser whose
+//!   `encode ∘ parse ∘ encode` composition is a textual fixpoint, plus JSONL
+//!   helpers for trace files and `BENCH_E<k>.json` artifacts.
+//! - [`trace`] — node-view extraction and trace diffing over recorded event
+//!   streams, the machinery behind the `rmt-trace` tool's Figure 2
+//!   indistinguishability check.
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use event::{JsonlObserver, NoopObserver, RejectReason, RunEvent, RunObserver, VecObserver};
+pub use json::{parse_jsonl, to_jsonl, Json, ParseError};
+pub use registry::{Counter, Gauge, Histogram, Registry, ScopedTimer};
+pub use trace::{
+    diff_node_views, diff_traces, node_view, render_node_view, render_trace, TraceDiff, ViewLine,
+};

@@ -1,0 +1,383 @@
+//! A global-free metrics registry.
+//!
+//! No statics, no global singleton: a [`Registry`] is created where it is
+//! needed and handed (or cloned — handles share state) to the code being
+//! instrumented. Metric handles ([`Counter`], [`Gauge`], [`Histogram`]) are
+//! cheap `Arc`-backed atomics, so hot loops resolve a handle once by name
+//! and then pay a relaxed atomic op per update.
+//!
+//! Duration measurement goes through [`Registry::timer`], whose guard
+//! records elapsed nanoseconds into a histogram on drop.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge that also tracks its maximum.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+    max: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest value ever set.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `i` counts samples whose value needs `i` bits (i.e. is in
+/// `[2^(i-1), 2^i)`, with bucket 0 for zero), which is plenty of resolution
+/// for durations and combinatorial sizes alike.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; 65],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates a free-standing histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        if inner.count.fetch_add(1, Ordering::Relaxed) == 0 {
+            inner.min.store(v, Ordering::Relaxed);
+        } else {
+            inner.min.fetch_min(v, Ordering::Relaxed);
+        }
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = 64 - v.leading_zeros() as usize; // 0 → 0, 1 → 1, 2..3 → 2, …
+        inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.0.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    let upper = if i >= 64 { u64::MAX } else { 1u64 << i };
+                    (upper, count)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Records elapsed wall-clock nanoseconds into a histogram when dropped.
+pub struct ScopedTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Starts timing into `histogram`.
+    pub fn new(histogram: Histogram) -> Self {
+        ScopedTimer {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(ns);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics. Cloning shares the underlying state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Starts a scoped timer recording into histogram `name` (in ns).
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        ScopedTimer::new(self.histogram(name))
+    }
+
+    /// All metrics as a JSON object, names sorted, suitable for the
+    /// `counters` field of an experiment artifact.
+    ///
+    /// Counters render as integers, gauges as `{value, max}`, histograms as
+    /// `{count, sum, min, max, mean}`.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        for (name, c) in &inner.counters {
+            pairs.push((name.clone(), Json::from(c.get())));
+        }
+        for (name, g) in &inner.gauges {
+            pairs.push((
+                name.clone(),
+                Json::obj([("value", Json::from(g.get())), ("max", Json::from(g.max()))]),
+            ));
+        }
+        for (name, h) in &inner.histograms {
+            pairs.push((
+                name.clone(),
+                Json::obj([
+                    ("count", Json::from(h.count())),
+                    ("sum", Json::from(h.sum())),
+                    ("min", Json::from(h.min())),
+                    ("max", Json::from(h.max())),
+                    ("mean", Json::from(h.mean())),
+                ]),
+            ));
+        }
+        pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Json::Obj(pairs)
+    }
+
+    /// Renders a sorted `name value` line per metric (for text output).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut lines: Vec<String> = Vec::new();
+        for (name, c) in &inner.counters {
+            lines.push(format!("{name} {}", c.get()));
+        }
+        for (name, g) in &inner.gauges {
+            lines.push(format!("{name} {} (max {})", g.get(), g.max()));
+        }
+        for (name, h) in &inner.histograms {
+            lines.push(format!(
+                "{name} count={} sum={} min={} max={} mean={:.1}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+            ));
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        reg.counter("x").add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.counter("y").get(), 0);
+        // Cloned registries share everything.
+        let reg2 = reg.clone();
+        reg2.counter("x").inc();
+        assert_eq!(reg.counter("x").get(), 6);
+    }
+
+    #[test]
+    fn gauges_track_max() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.max(), 9);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 100 → bucket 7.
+        assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (128, 1)]);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = Registry::new();
+        {
+            let _t = reg.timer("op_ns");
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(reg.histogram("op_ns").count(), 1);
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("a.count").add(1);
+        reg.gauge("g").set(7);
+        reg.histogram("h").record(10);
+        let j = reg.to_json();
+        match &j {
+            Json::Obj(pairs) => {
+                let names: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(names, vec!["a.count", "b.count", "g", "h"]);
+            }
+            other => panic!("expected object, got {other}"),
+        }
+        assert_eq!(j.get("a.count").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            j.get("g").and_then(|g| g.get("max")).and_then(Json::as_i64),
+            Some(7)
+        );
+        assert_eq!(
+            j.get("h")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert!(reg.render().contains("a.count 1"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Trace-level views over recorded event streams.
+//!
+//! A *trace* is the `Vec<RunEvent>` a [`crate::VecObserver`] collects (or the
+//! parse of a JSONL file an observer wrote). This module answers the
+//! questions the `rmt-trace` tool asks of one: what did a given node see
+//! (its *view*), how does a whole run render as text, and where do two
+//! traces differ — globally or restricted to one node's view.
+//!
+//! The node-restricted diff is the mechanical form of the paper's Figure 2
+//! indistinguishability argument: two coupled executions e₀/e₁ differ as
+//! full traces (different corruption sets, different honest senders) yet
+//! the receiver's view is identical line for line, so no protocol the
+//! receiver runs can decide safely.
+
+use crate::event::RunEvent;
+
+/// One line of a node's view: something the node locally observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewLine {
+    pub round: u32,
+    pub text: String,
+}
+
+/// The events node `node` can locally observe, in stream order.
+///
+/// A node sees its own sends, every delivery addressed to it, and its own
+/// decision. It does *not* see other nodes' traffic, who is corrupted, or
+/// whether an incoming message was honestly or adversarially produced —
+/// deliveries and (undetected) adversarial sends are rendered identically,
+/// which is exactly the point.
+pub fn node_view(events: &[RunEvent], node: u32) -> Vec<ViewLine> {
+    let mut view = Vec::new();
+    for ev in events {
+        match ev {
+            RunEvent::HonestSend {
+                round,
+                from,
+                to,
+                payload,
+                ..
+            } if *from == node => view.push(ViewLine {
+                round: *round,
+                text: format!("send -> v{to}: {payload}"),
+            }),
+            RunEvent::AdversarialSend {
+                round,
+                from,
+                to,
+                payload,
+            } if *from == node => view.push(ViewLine {
+                round: *round,
+                text: format!("send -> v{to}: {payload}"),
+            }),
+            RunEvent::Delivery {
+                round,
+                from,
+                to,
+                payload,
+            } if *to == node => view.push(ViewLine {
+                round: *round,
+                text: format!("recv <- v{from}: {payload}"),
+            }),
+            RunEvent::Decision {
+                round,
+                node: n,
+                value,
+            } if *n == node => view.push(ViewLine {
+                round: *round,
+                text: format!("decide: {value}"),
+            }),
+            _ => {}
+        }
+    }
+    view
+}
+
+/// Renders a node's view as indented text grouped by round.
+pub fn render_node_view(events: &[RunEvent], node: u32) -> String {
+    let view = node_view(events, node);
+    if view.is_empty() {
+        return format!("view of v{node}: (empty)\n");
+    }
+    let mut out = format!("view of v{node}:\n");
+    let mut current_round = None;
+    for line in &view {
+        if current_round != Some(line.round) {
+            current_round = Some(line.round);
+            out.push_str(&format!("  round {}:\n", line.round));
+        }
+        out.push_str(&format!("    {}\n", line.text));
+    }
+    out
+}
+
+/// Renders a whole trace as one line per event (the omniscient view).
+pub fn render_trace(events: &[RunEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let line = match ev {
+            RunEvent::RunStart { nodes, corrupted } => {
+                let c: Vec<String> = corrupted.iter().map(|v| format!("v{v}")).collect();
+                format!("run start: {nodes} nodes, corrupted {{{}}}", c.join(", "))
+            }
+            RunEvent::RoundStart { round } => format!("round {round}:"),
+            RunEvent::HonestSend {
+                round: _,
+                from,
+                to,
+                bits,
+                payload,
+            } => format!("  v{from} -> v{to} ({bits} bits): {payload}"),
+            RunEvent::AdversarialSend {
+                round: _,
+                from,
+                to,
+                payload,
+            } => format!("  v{from} -> v{to} [adversarial]: {payload}"),
+            RunEvent::RejectedSend {
+                round: _,
+                from,
+                to,
+                reason,
+            } => format!("  v{from} -> v{to} rejected: {}", reason.as_str()),
+            RunEvent::Delivery {
+                round: _,
+                from,
+                to,
+                payload,
+            } => format!("  v{to} <- v{from}: {payload}"),
+            RunEvent::Decision {
+                round: _,
+                node,
+                value,
+            } => format!("  v{node} decides: {value}"),
+            RunEvent::RunEnd { rounds } => format!("run end after {rounds} rounds"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// One difference between two traces (or two node views).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// 0-based position in the compared sequences.
+    pub index: usize,
+    /// Rendering of the left side's entry, if present.
+    pub left: Option<String>,
+    /// Rendering of the right side's entry, if present.
+    pub right: Option<String>,
+}
+
+impl std::fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "@ {}", self.index)?;
+        match &self.left {
+            Some(l) => writeln!(f, "  - {l}")?,
+            None => writeln!(f, "  - <absent>")?,
+        }
+        match &self.right {
+            Some(r) => write!(f, "  + {r}"),
+            None => write!(f, "  + <absent>"),
+        }
+    }
+}
+
+fn diff_rendered(left: &[String], right: &[String]) -> Vec<TraceDiff> {
+    let mut diffs = Vec::new();
+    let len = left.len().max(right.len());
+    for i in 0..len {
+        let l = left.get(i);
+        let r = right.get(i);
+        if l != r {
+            diffs.push(TraceDiff {
+                index: i,
+                left: l.cloned(),
+                right: r.cloned(),
+            });
+        }
+    }
+    diffs
+}
+
+/// Positional diff of two full traces. Empty iff the traces are identical
+/// event for event.
+pub fn diff_traces(left: &[RunEvent], right: &[RunEvent]) -> Vec<TraceDiff> {
+    let render =
+        |evs: &[RunEvent]| -> Vec<String> { evs.iter().map(|e| format!("{e:?}")).collect() };
+    diff_rendered(&render(left), &render(right))
+}
+
+/// Positional diff of two traces restricted to `node`'s view. Empty iff
+/// the node's local observations are identical in both runs.
+pub fn diff_node_views(left: &[RunEvent], right: &[RunEvent], node: u32) -> Vec<TraceDiff> {
+    let render = |evs: &[RunEvent]| -> Vec<String> {
+        node_view(evs, node)
+            .into_iter()
+            .map(|l| format!("round {}: {}", l.round, l.text))
+            .collect()
+    };
+    diff_rendered(&render(left), &render(right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RejectReason;
+
+    fn sample() -> Vec<RunEvent> {
+        vec![
+            RunEvent::RunStart {
+                nodes: 4,
+                corrupted: vec![2],
+            },
+            RunEvent::RoundStart { round: 0 },
+            RunEvent::HonestSend {
+                round: 0,
+                from: 0,
+                to: 1,
+                bits: 8,
+                payload: "x".into(),
+            },
+            RunEvent::AdversarialSend {
+                round: 0,
+                from: 2,
+                to: 1,
+                payload: "y".into(),
+            },
+            RunEvent::RejectedSend {
+                round: 0,
+                from: 2,
+                to: 3,
+                reason: RejectReason::NoSuchEdge,
+            },
+            RunEvent::RoundStart { round: 1 },
+            RunEvent::Delivery {
+                round: 1,
+                from: 0,
+                to: 1,
+                payload: "x".into(),
+            },
+            RunEvent::Delivery {
+                round: 1,
+                from: 2,
+                to: 1,
+                payload: "y".into(),
+            },
+            RunEvent::Decision {
+                round: 1,
+                node: 1,
+                value: "x".into(),
+            },
+            RunEvent::RunEnd { rounds: 1 },
+        ]
+    }
+
+    #[test]
+    fn node_view_shows_only_local_observations() {
+        let view = node_view(&sample(), 1);
+        let texts: Vec<&str> = view.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, vec!["recv <- v0: x", "recv <- v2: y", "decide: x"]);
+        // The rejected send to v3 never reached it.
+        assert!(node_view(&sample(), 3).is_empty());
+    }
+
+    #[test]
+    fn adversarial_and_honest_deliveries_render_identically_to_receiver() {
+        // Same payload from the same neighbour: the receiver's view line is
+        // byte-identical whether the sender was honest or corrupted.
+        let honest = [RunEvent::Delivery {
+            round: 1,
+            from: 2,
+            to: 1,
+            payload: "m".into(),
+        }];
+        let view = node_view(&honest, 1);
+        assert_eq!(view[0].text, "recv <- v2: m");
+    }
+
+    #[test]
+    fn full_diff_nonempty_but_node_diff_empty() {
+        // Two runs that differ in who is corrupted and in traffic the
+        // receiver never sees, while v1's view is unchanged.
+        let mut a = sample();
+        let mut b = sample();
+        b[0] = RunEvent::RunStart {
+            nodes: 4,
+            corrupted: vec![0],
+        };
+        a.insert(
+            5,
+            RunEvent::HonestSend {
+                round: 0,
+                from: 3,
+                to: 0,
+                bits: 8,
+                payload: "hidden".into(),
+            },
+        );
+        assert!(!diff_traces(&a, &b).is_empty());
+        assert!(diff_node_views(&a, &b, 1).is_empty());
+    }
+
+    #[test]
+    fn node_diff_reports_position_and_sides() {
+        let a = sample();
+        let mut b = sample();
+        b[6] = RunEvent::Delivery {
+            round: 1,
+            from: 0,
+            to: 1,
+            payload: "z".into(),
+        };
+        let diffs = diff_node_views(&a, &b, 1);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].index, 0);
+        assert_eq!(diffs[0].left.as_deref(), Some("round 1: recv <- v0: x"));
+        assert_eq!(diffs[0].right.as_deref(), Some("round 1: recv <- v0: z"));
+        let shown = diffs[0].to_string();
+        assert!(shown.contains("- round 1: recv <- v0: x"));
+        assert!(shown.contains("+ round 1: recv <- v0: z"));
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let text = render_trace(&sample());
+        assert!(text.contains("run start: 4 nodes, corrupted {v2}"));
+        assert!(text.contains("v2 -> v1 [adversarial]: y"));
+        assert!(text.contains("v2 -> v3 rejected: no_such_edge"));
+        let view = render_node_view(&sample(), 1);
+        assert!(view.starts_with("view of v1:\n"));
+        assert!(view.contains("  round 1:\n    recv <- v0: x"));
+        assert_eq!(render_node_view(&sample(), 3), "view of v3: (empty)\n");
+    }
+
+    #[test]
+    fn length_mismatch_is_a_diff() {
+        let a = sample();
+        let b = &a[..a.len() - 1];
+        let diffs = diff_traces(&a, b);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].right.is_none());
+    }
+}

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use rmt_graph::Graph;
+use rmt_obs::{NoopObserver, RunEvent, RunObserver};
 use rmt_sets::{NodeId, NodeSet};
 
 use crate::message::{DeliveryLog, Envelope};
@@ -91,9 +92,76 @@ impl<Q: Protocol> CoupledRunner<Q> {
     }
 
     /// Executes both runs to completion.
-    pub fn run(mut self) -> CoupledOutcome<Q> {
+    pub fn run(self) -> CoupledOutcome<Q> {
+        self.run_observed(&mut NoopObserver, &mut NoopObserver)
+    }
+
+    /// Executes both runs to completion, streaming run e through `obs_e`
+    /// and run e′ through `obs_e2`.
+    ///
+    /// Each observer sees its run exactly as [`Runner::run_observed`] would
+    /// render a single run: corrupted nodes' sends appear as
+    /// [`RunEvent::AdversarialSend`] (in e that is `C₁` replaying its
+    /// e′-honest alter ego, and symmetrically in e′), honest traffic as
+    /// [`RunEvent::HonestSend`], every delivery as [`RunEvent::Delivery`].
+    /// Diffing the two streams restricted to the receiver's view is the
+    /// mechanical Figure 2 check.
+    ///
+    /// [`Runner::run_observed`]: crate::Runner::run_observed
+    pub fn run_observed<O1, O2>(mut self, obs_e: &mut O1, obs_e2: &mut O2) -> CoupledOutcome<Q>
+    where
+        O1: RunObserver,
+        O2: RunObserver,
+    {
         let mut delivered_e: DeliveryLog<Q::Payload> = HashMap::new();
         let mut delivered_e2: DeliveryLog<Q::Payload> = HashMap::new();
+        let size = self.a.len();
+        let mut decided_e = vec![false; size];
+        let mut decided_e2 = vec![false; size];
+
+        if O1::ACTIVE {
+            obs_e.on_event(&RunEvent::RunStart {
+                nodes: self.graph.node_count() as u32,
+                corrupted: self.c1.iter().map(NodeId::raw).collect(),
+            });
+            obs_e.on_event(&RunEvent::RoundStart { round: 0 });
+        }
+        if O2::ACTIVE {
+            obs_e2.on_event(&RunEvent::RunStart {
+                nodes: self.graph.node_count() as u32,
+                corrupted: self.c2.iter().map(NodeId::raw).collect(),
+            });
+            obs_e2.on_event(&RunEvent::RoundStart { round: 0 });
+        }
+
+        fn emit_sends<P: crate::message::Payload, O: RunObserver>(
+            obs: &mut O,
+            round: u32,
+            adversarial: bool,
+            envs: &[Envelope<P>],
+        ) {
+            if !O::ACTIVE {
+                return;
+            }
+            for env in envs {
+                if adversarial {
+                    obs.on_event(&RunEvent::AdversarialSend {
+                        round,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        payload: format!("{:?}", env.payload),
+                    });
+                } else {
+                    obs.on_event(&RunEvent::HonestSend {
+                        round,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        bits: env.payload.encoded_bits() as u64,
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
+            }
+        }
 
         // outs_a[v] = messages produced by instance a[v] this round (run-e
         // dynamics); outs_b[v] likewise for e′.
@@ -126,13 +194,27 @@ impl<Q: Protocol> CoupledRunner<Q> {
                 .map(|(to, p)| Envelope::new(v, to, p))
                 .collect();
             // Run e takes a[v] unless v ∈ C₁ (then its e′-honest self).
-            inflight_e.extend(if self.c1.contains(v) {
-                outs_b.clone()
+            let chosen_e = if self.c1.contains(v) {
+                &outs_b
             } else {
-                outs_a.clone()
-            });
+                &outs_a
+            };
+            emit_sends(obs_e, 0, self.c1.contains(v), chosen_e);
+            inflight_e.extend(chosen_e.iter().cloned());
             // Run e′ takes b[v] unless v ∈ C₂.
-            inflight_e2.extend(if self.c2.contains(v) { outs_a } else { outs_b });
+            let chosen_e2 = if self.c2.contains(v) {
+                &outs_a
+            } else {
+                &outs_b
+            };
+            emit_sends(obs_e2, 0, self.c2.contains(v), chosen_e2);
+            inflight_e2.extend(chosen_e2.iter().cloned());
+        }
+        if O1::ACTIVE {
+            self.emit_new_decisions_e(obs_e, 0, &mut decided_e);
+        }
+        if O2::ACTIVE {
+            self.emit_new_decisions_e2(obs_e2, 0, &mut decided_e2);
         }
 
         let mut rounds = 0;
@@ -141,8 +223,22 @@ impl<Q: Protocol> CoupledRunner<Q> {
                 break;
             }
             rounds = round;
+            if O1::ACTIVE {
+                obs_e.on_event(&RunEvent::RoundStart { round });
+            }
+            if O2::ACTIVE {
+                obs_e2.on_event(&RunEvent::RoundStart { round });
+            }
             let mut inbox_e: HashMap<NodeId, Vec<Envelope<Q::Payload>>> = HashMap::new();
             for env in inflight_e.drain(..) {
+                if O1::ACTIVE {
+                    obs_e.on_event(&RunEvent::Delivery {
+                        round,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
                 delivered_e
                     .entry(env.to)
                     .or_default()
@@ -151,6 +247,14 @@ impl<Q: Protocol> CoupledRunner<Q> {
             }
             let mut inbox_e2: HashMap<NodeId, Vec<Envelope<Q::Payload>>> = HashMap::new();
             for env in inflight_e2.drain(..) {
+                if O2::ACTIVE {
+                    obs_e2.on_event(&RunEvent::Delivery {
+                        round,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
                 delivered_e2
                     .entry(env.to)
                     .or_default()
@@ -176,13 +280,34 @@ impl<Q: Protocol> CoupledRunner<Q> {
                     .filter(|(to, _)| graph.has_edge(v, *to))
                     .map(|(to, p)| Envelope::new(v, to, p))
                     .collect();
-                inflight_e.extend(if self.c1.contains(v) {
-                    outs_b.clone()
+                let chosen_e = if self.c1.contains(v) {
+                    &outs_b
                 } else {
-                    outs_a.clone()
-                });
-                inflight_e2.extend(if self.c2.contains(v) { outs_a } else { outs_b });
+                    &outs_a
+                };
+                emit_sends(obs_e, round, self.c1.contains(v), chosen_e);
+                inflight_e.extend(chosen_e.iter().cloned());
+                let chosen_e2 = if self.c2.contains(v) {
+                    &outs_a
+                } else {
+                    &outs_b
+                };
+                emit_sends(obs_e2, round, self.c2.contains(v), chosen_e2);
+                inflight_e2.extend(chosen_e2.iter().cloned());
             }
+            if O1::ACTIVE {
+                self.emit_new_decisions_e(obs_e, round, &mut decided_e);
+            }
+            if O2::ACTIVE {
+                self.emit_new_decisions_e2(obs_e2, round, &mut decided_e2);
+            }
+        }
+
+        if O1::ACTIVE {
+            obs_e.on_event(&RunEvent::RunEnd { rounds });
+        }
+        if O2::ACTIVE {
+            obs_e2.on_event(&RunEvent::RunEnd { rounds });
         }
 
         CoupledOutcome {
@@ -193,6 +318,40 @@ impl<Q: Protocol> CoupledRunner<Q> {
             rounds,
             delivered_e,
             delivered_e2,
+        }
+    }
+
+    /// Emits run-e decisions newly reached this round (honest = not in C₁).
+    fn emit_new_decisions_e<O: RunObserver>(&self, obs: &mut O, round: u32, decided: &mut [bool]) {
+        for v in self.graph.nodes() {
+            if decided[v.index()] || self.c1.contains(v) {
+                continue;
+            }
+            if let Some(d) = self.a[v.index()].as_ref().and_then(Protocol::decision) {
+                decided[v.index()] = true;
+                obs.on_event(&RunEvent::Decision {
+                    round,
+                    node: v.raw(),
+                    value: format!("{d:?}"),
+                });
+            }
+        }
+    }
+
+    /// Emits run-e′ decisions newly reached this round (honest = not in C₂).
+    fn emit_new_decisions_e2<O: RunObserver>(&self, obs: &mut O, round: u32, decided: &mut [bool]) {
+        for v in self.graph.nodes() {
+            if decided[v.index()] || self.c2.contains(v) {
+                continue;
+            }
+            if let Some(d) = self.b[v.index()].as_ref().and_then(Protocol::decision) {
+                decided[v.index()] = true;
+                obs.on_event(&RunEvent::Decision {
+                    round,
+                    node: v.raw(),
+                    value: format!("{d:?}"),
+                });
+            }
         }
     }
 }

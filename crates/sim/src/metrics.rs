@@ -25,6 +25,34 @@ impl Metrics {
     pub fn total_messages(&self) -> u64 {
         self.honest_messages + self.adversarial_messages
     }
+
+    /// Reconstructs the metrics of a run from its recorded event stream.
+    ///
+    /// This is the thin-adapter form: the scheduler's event stream carries
+    /// everything the accounting needs, so a trace replays to the exact
+    /// `Metrics` the run itself produced (enforced by a property test in
+    /// `rmt-sim`).
+    pub fn from_events(events: &[rmt_obs::RunEvent]) -> Self {
+        use rmt_obs::RunEvent;
+        let mut m = Metrics::default();
+        for ev in events {
+            match ev {
+                RunEvent::RoundStart { .. } => m.honest_messages_per_round.push(0),
+                RunEvent::HonestSend { bits, .. } => {
+                    m.honest_messages += 1;
+                    m.honest_bits += bits;
+                    if let Some(last) = m.honest_messages_per_round.last_mut() {
+                        *last += 1;
+                    }
+                }
+                RunEvent::AdversarialSend { .. } => m.adversarial_messages += 1,
+                RunEvent::RejectedSend { .. } => m.rejected_adversarial += 1,
+                RunEvent::RunEnd { rounds } => m.rounds = *rounds,
+                _ => {}
+            }
+        }
+        m
+    }
 }
 
 impl std::fmt::Display for Metrics {

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use rmt_graph::Graph;
+use rmt_obs::{NoopObserver, RejectReason, RunEvent, RunObserver};
 use rmt_sets::{NodeId, NodeSet};
 
 use crate::adversary::Adversary;
@@ -78,10 +79,33 @@ where
     }
 
     /// Executes the run to completion.
-    pub fn run(mut self) -> RunOutcome<Q> {
+    pub fn run(self) -> RunOutcome<Q> {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// Executes the run to completion, streaming every observable step
+    /// through `observer`.
+    ///
+    /// With the default [`NoopObserver`] (`ACTIVE = false`) this
+    /// monomorphizes to exactly the uninstrumented scheduler — events are
+    /// neither constructed nor dispatched — so [`Runner::run`] simply
+    /// delegates here. The event stream carries everything the run's
+    /// [`Metrics`] and transcripts need; see [`Metrics::from_events`] and
+    /// [`Transcript::from_events`](crate::Transcript::from_events).
+    pub fn run_observed<O: RunObserver>(mut self, observer: &mut O) -> RunOutcome<Q> {
         let size = self.protocols.len();
         let mut metrics = Metrics::default();
         let mut watched: DeliveryLog<Q::Payload> = HashMap::new();
+        let mut decided = vec![false; size];
+
+        if O::ACTIVE {
+            let corrupted: Vec<u32> = self.adversary.corrupted().iter().map(NodeId::raw).collect();
+            observer.on_event(&RunEvent::RunStart {
+                nodes: self.graph.node_count() as u32,
+                corrupted,
+            });
+            observer.on_event(&RunEvent::RoundStart { round: 0 });
+        }
 
         // Round 0: initial sends.
         let mut inflight: Vec<Envelope<Q::Payload>> = Vec::new();
@@ -98,30 +122,72 @@ where
                         metrics.honest_messages += 1;
                         honest_this_round += 1;
                         metrics.honest_bits += payload.encoded_bits() as u64;
+                        if O::ACTIVE {
+                            observer.on_event(&RunEvent::HonestSend {
+                                round: 0,
+                                from: v.raw(),
+                                to: to.raw(),
+                                bits: payload.encoded_bits() as u64,
+                                payload: format!("{payload:?}"),
+                            });
+                        }
                         inflight.push(Envelope::new(v, to, payload));
                     }
                 }
             }
         }
         for env in self.adversary.start(&self.graph) {
-            if self.adversary.corrupted().contains(env.from)
-                && self.graph.has_edge(env.from, env.to)
-            {
+            let forged = !self.adversary.corrupted().contains(env.from);
+            if !forged && self.graph.has_edge(env.from, env.to) {
                 metrics.adversarial_messages += 1;
+                if O::ACTIVE {
+                    observer.on_event(&RunEvent::AdversarialSend {
+                        round: 0,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
                 inflight.push(env);
             } else {
                 metrics.rejected_adversarial += 1;
+                if O::ACTIVE {
+                    observer.on_event(&RunEvent::RejectedSend {
+                        round: 0,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        reason: if forged {
+                            RejectReason::ForgedSender
+                        } else {
+                            RejectReason::NoSuchEdge
+                        },
+                    });
+                }
             }
         }
         metrics.honest_messages_per_round.push(honest_this_round);
+        if O::ACTIVE {
+            self.emit_new_decisions(observer, 0, &mut decided);
+        }
 
         for round in 1..=self.max_rounds {
             if inflight.is_empty() {
                 break;
             }
             metrics.rounds = round;
+            if O::ACTIVE {
+                observer.on_event(&RunEvent::RoundStart { round });
+            }
             let mut delivered = RoundInboxes::new(size);
             for env in inflight.drain(..) {
+                if O::ACTIVE {
+                    observer.on_event(&RunEvent::Delivery {
+                        round,
+                        from: env.from.raw(),
+                        to: env.to.raw(),
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
                 if self.watch.contains(env.to) {
                     watched
                         .entry(env.to)
@@ -145,23 +211,60 @@ where
                             metrics.honest_messages += 1;
                             honest_this_round += 1;
                             metrics.honest_bits += payload.encoded_bits() as u64;
+                            if O::ACTIVE {
+                                observer.on_event(&RunEvent::HonestSend {
+                                    round,
+                                    from: v.raw(),
+                                    to: to.raw(),
+                                    bits: payload.encoded_bits() as u64,
+                                    payload: format!("{payload:?}"),
+                                });
+                            }
                             outgoing.push(Envelope::new(v, to, payload));
                         }
                     }
                 }
             }
             for env in self.adversary.on_round(round, &self.graph, &delivered) {
-                if self.adversary.corrupted().contains(env.from)
-                    && self.graph.has_edge(env.from, env.to)
-                {
+                let forged = !self.adversary.corrupted().contains(env.from);
+                if !forged && self.graph.has_edge(env.from, env.to) {
                     metrics.adversarial_messages += 1;
+                    if O::ACTIVE {
+                        observer.on_event(&RunEvent::AdversarialSend {
+                            round,
+                            from: env.from.raw(),
+                            to: env.to.raw(),
+                            payload: format!("{:?}", env.payload),
+                        });
+                    }
                     outgoing.push(env);
                 } else {
                     metrics.rejected_adversarial += 1;
+                    if O::ACTIVE {
+                        observer.on_event(&RunEvent::RejectedSend {
+                            round,
+                            from: env.from.raw(),
+                            to: env.to.raw(),
+                            reason: if forged {
+                                RejectReason::ForgedSender
+                            } else {
+                                RejectReason::NoSuchEdge
+                            },
+                        });
+                    }
                 }
             }
             metrics.honest_messages_per_round.push(honest_this_round);
+            if O::ACTIVE {
+                self.emit_new_decisions(observer, round, &mut decided);
+            }
             inflight = outgoing;
+        }
+
+        if O::ACTIVE {
+            observer.on_event(&RunEvent::RunEnd {
+                rounds: metrics.rounds,
+            });
         }
 
         RunOutcome {
@@ -169,6 +272,32 @@ where
             corrupted: self.adversary.corrupted().clone(),
             metrics,
             watched,
+        }
+    }
+
+    /// Emits a [`RunEvent::Decision`] for every honest node that decided
+    /// since the last sweep (only called when the observer is active).
+    fn emit_new_decisions<O: RunObserver>(
+        &self,
+        observer: &mut O,
+        round: u32,
+        decided: &mut [bool],
+    ) {
+        for v in self.graph.nodes() {
+            if decided[v.index()] {
+                continue;
+            }
+            if let Some(d) = self.protocols[v.index()]
+                .as_ref()
+                .and_then(Protocol::decision)
+            {
+                decided[v.index()] = true;
+                observer.on_event(&RunEvent::Decision {
+                    round,
+                    node: v.raw(),
+                    value: format!("{d:?}"),
+                });
+            }
         }
     }
 }

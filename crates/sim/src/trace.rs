@@ -35,6 +35,31 @@ impl Transcript {
         Transcript { lines, node }
     }
 
+    /// Builds the transcript of `node`'s deliveries from a recorded event
+    /// stream (as produced by [`Runner::run_observed`]).
+    ///
+    /// Payloads render as recorded — the event stream already carries their
+    /// `Debug` form — so this matches [`Transcript::for_node`] with
+    /// [`debug_describe`] on the same run, without needing the node to have
+    /// been watched.
+    ///
+    /// [`Runner::run_observed`]: crate::Runner::run_observed
+    pub fn from_events(events: &[rmt_obs::RunEvent], node: NodeId) -> Self {
+        let lines = events
+            .iter()
+            .filter_map(|ev| match ev {
+                rmt_obs::RunEvent::Delivery {
+                    round,
+                    from,
+                    to,
+                    payload,
+                } if *to == node.raw() => Some((*round, format!("v{from} → {payload}"))),
+                _ => None,
+            })
+            .collect();
+        Transcript { lines, node }
+    }
+
     /// The number of recorded deliveries.
     pub fn len(&self) -> usize {
         self.lines.len()

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the *exact API surface it uses* — nothing more — as a
+//! std-only crate: [`RngCore`], the [`Rng`] extension trait with
+//! `random_bool` / `random_range`, and [`SeedableRng`] with `seed_from_u64`.
+//! Generators are deterministic for a given seed (xoshiro256++ driven by a
+//! SplitMix64 seeding sequence), which is all the reproducibility the
+//! experiments and property tests rely on; no compatibility with upstream
+//! `rand`'s value streams is implied.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The minimal random-number core: a 64-bit output function.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type usable as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Maps 64 random bits to [0, 1).
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, as the upstream implementation does.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing random-value methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Draws a uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: the seeding sequence recommended for xoshiro generators.
+pub(crate) fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ — small, fast, and statistically solid; used as the core of
+/// every generator in this stub.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates the generator from a full 256-bit state (must be non-zero).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "state must be non-zero");
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let s = [
+            split_mix_64(&mut sm),
+            split_mix_64(&mut sm),
+            split_mix_64(&mut sm),
+            split_mix_64(&mut sm),
+        ];
+        Xoshiro256PlusPlus::from_state(s)
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut c = Xoshiro256PlusPlus::seed_from_u64(43);
+        let (xs, ys): (Vec<u64>, Vec<u64>) = (0..32).map(|_| (a.next_u64(), b.next_u64())).unzip();
+        assert_eq!(xs, ys);
+        assert!((0..32).any(|_| c.next_u64() != xs[0]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..12);
+            assert!((3..12).contains(&x));
+            let y = rng.random_range(0u32..=4);
+            assert!(y <= 4);
+            let f = rng.random_range(0.2f64..0.8);
+            assert!((0.2..0.8).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.1));
+    }
+}
