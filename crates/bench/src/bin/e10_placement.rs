@@ -7,7 +7,7 @@
 
 use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::minimal_upgrade_set;
-use rmt_core::cuts::find_rmt_cut_observed;
+use rmt_core::cuts::find_rmt_cut_par_observed;
 use rmt_core::gallery;
 use rmt_core::sampling::random_structure;
 use rmt_core::Instance;
@@ -19,6 +19,7 @@ fn main() {
     let mut exp = Experiment::new("e10_placement");
     exp.param("seed", "0xE10");
     exp.param("trials_per_family", 30);
+    let threads = exp.threads();
     let mut table = Table::new(
         "E10: minimal radius-2 upgrade sets over ad hoc baseline (30 instances per family)",
         &[
@@ -83,9 +84,9 @@ fn main() {
     println!("staggered-theta minimal upgrade set: {upgrade} (upgrading this node to a radius-2");
     println!("view refutes the triple-cut framing; verified solvable below).");
     let inst = rmt_core::analysis::mixed_views_instance(&g, &z, 0.into(), 9.into(), &upgrade, 2);
-    assert!(find_rmt_cut_observed(&inst, exp.registry()).is_none());
+    assert!(find_rmt_cut_par_observed(&inst, exp.registry(), threads).is_none());
     let adhoc = Instance::new(g, z, ViewKind::AdHoc, 0.into(), 9.into()).unwrap();
-    assert!(find_rmt_cut_observed(&adhoc, exp.registry()).is_some());
+    assert!(find_rmt_cut_par_observed(&adhoc, exp.registry(), threads).is_some());
     exp.finish();
     println!("\nShape check: most random ad hoc instances are already solvable or genuinely");
     println!("unsolvable (pair cuts); the gap cases are fixed by one or two well-placed");

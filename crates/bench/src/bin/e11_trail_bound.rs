@@ -7,8 +7,8 @@
 //! completeness/efficiency trade-off, quantified. (Safety is unaffected by
 //! construction: fewer messages only remove candidate message sets.)
 
-use rmt_bench::{mean, Experiment, Table};
-use rmt_core::cuts::find_rmt_cut_observed;
+use rmt_bench::{fmt_duration, mean, parallel_map, timed, Experiment, Table};
+use rmt_core::cuts::{find_rmt_cut, find_rmt_cut_observed, find_rmt_cut_par};
 use rmt_core::protocols::rmt_pka::RmtPka;
 use rmt_core::sampling::random_instance_nonadjacent;
 use rmt_graph::generators::seeded;
@@ -21,6 +21,7 @@ fn main() {
     let mut exp = Experiment::new("e11_trail_bound");
     exp.param("seed", "0xE11");
     exp.param("instances", trials as i64);
+    let threads = exp.threads();
     // Collect solvable instances once.
     let mut instances = Vec::new();
     while instances.len() < trials {
@@ -37,10 +38,10 @@ fn main() {
     );
     let mut unbounded_mean = 0.0;
     for bound in [usize::MAX, 2, 3, 4, 5, 6] {
-        let mut successes = 0;
-        let mut runs = 0;
-        let mut msgs = Vec::new();
-        for inst in &instances {
+        // The instances are independent: sweep them on the worker pool.
+        // `parallel_map` preserves input order, so successes and message
+        // means aggregate identically for any thread count.
+        let outcomes = parallel_map(instances.iter().collect(), threads, |inst| {
             let corruptions = inst.worst_case_corruptions();
             let worst = corruptions
                 .iter()
@@ -59,12 +60,14 @@ fn main() {
                 SilentAdversary::new(worst),
             )
             .run();
-            runs += 1;
-            if out.decision(inst.receiver()) == Some(7) {
-                successes += 1;
-            }
-            msgs.push(out.metrics.honest_messages as f64);
-        }
+            (
+                out.decision(inst.receiver()) == Some(7),
+                out.metrics.honest_messages as f64,
+            )
+        });
+        let runs = outcomes.len();
+        let successes = outcomes.iter().filter(|(ok, _)| *ok).count();
+        let msgs: Vec<f64> = outcomes.iter().map(|(_, m)| *m).collect();
         let m = mean(&msgs);
         if bound == usize::MAX {
             unbounded_mean = m;
@@ -85,7 +88,43 @@ fn main() {
         ]);
     }
     table.print();
+
+    // E11b: re-screen the solvable pool with the sequential and the
+    // parallel decision engine. Both must return `None` on every instance
+    // (they were selected that way) — this is the honest end-to-end check
+    // that the engines agree, timed. Solvable instances are the decider's
+    // worst case: `None` means the whole 2^(n−2) candidate space was
+    // scanned.
+    let mut screen = Table::new(
+        "E11b: solvability screening, sequential vs parallel decision engine",
+        &["mode", "threads", "instances", "disagreements", "time"],
+    );
+    let (seq, t_seq) = timed(|| instances.iter().map(find_rmt_cut).collect::<Vec<_>>());
+    let (par, t_par) = timed(|| {
+        instances
+            .iter()
+            .map(|inst| find_rmt_cut_par(inst, threads))
+            .collect::<Vec<_>>()
+    });
+    let disagreements = seq.iter().zip(&par).filter(|(a, b)| a != b).count();
+    assert_eq!(disagreements, 0, "parallel screening diverged");
+    screen.row(&[
+        "sequential".to_string(),
+        "1".to_string(),
+        instances.len().to_string(),
+        "0".to_string(),
+        fmt_duration(t_seq),
+    ]);
+    screen.row(&[
+        "parallel".to_string(),
+        threads.to_string(),
+        instances.len().to_string(),
+        disagreements.to_string(),
+        fmt_duration(t_par),
+    ]);
+    screen.print();
     exp.record_table(&table);
+    exp.record_table(&screen);
     exp.finish();
     println!("Shape check: success rate climbs to 100% as L grows (completeness needs all");
     println!("G_M paths); message cost climbs with it — the trade-off behind the paper's");

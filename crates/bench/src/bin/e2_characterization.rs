@@ -14,7 +14,7 @@
 
 use rmt_bench::{Experiment, Table};
 use rmt_core::analysis::{pka_attack_suite, run_coupled_attack};
-use rmt_core::cuts::find_rmt_cut_observed;
+use rmt_core::cuts::find_rmt_cut_par_observed;
 use rmt_core::protocols::attacks::PKA_ATTACKS;
 use rmt_core::sampling::random_instance_nonadjacent;
 use rmt_graph::generators::seeded;
@@ -24,6 +24,7 @@ fn main() {
     let mut rng = seeded(0xE2);
     let mut exp = Experiment::new("e2_characterization");
     exp.param("seed", "0xE2");
+    let threads = exp.threads();
     exp.param("trials_per_view", 40);
     exp.param("join_limit", 1 << 14);
     let mut table = Table::new(
@@ -48,7 +49,7 @@ fn main() {
         for trial in 0..trials {
             let n = 6 + trial % 4;
             let inst = random_instance_nonadjacent(n, 0.35, views, 3, 2, &mut rng);
-            match find_rmt_cut_observed(&inst, exp.registry()) {
+            match find_rmt_cut_par_observed(&inst, exp.registry(), threads) {
                 None => {
                     solvable += 1;
                     let report = pka_attack_suite(&inst, 7, &PKA_ATTACKS, trial as u64);

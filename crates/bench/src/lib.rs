@@ -133,6 +133,16 @@ impl Experiment {
         self.params.push((key.to_string(), value.into()));
     }
 
+    /// Resolves the worker-thread count for this run (`--threads N` /
+    /// `RMT_THREADS` / available parallelism — see
+    /// [`rmt_par::configured_threads`]) and records it as the `threads`
+    /// parameter of the artifact.
+    pub fn threads(&mut self) -> usize {
+        let threads = configured_threads();
+        self.param("threads", i64::try_from(threads).unwrap_or(i64::MAX));
+        threads
+    }
+
     /// Records one measurement object.
     pub fn record(&mut self, measurement: Json) {
         self.measurements.push(measurement);
@@ -218,38 +228,10 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Maps `f` over `items` on `threads` OS threads (preserving order).
-///
-/// The experiments are embarrassingly parallel over instances; this keeps
-/// the harness dependency-free (no rayon) while using the machine.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    assert!(threads > 0, "need at least one thread");
-    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(items);
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
-                match next {
-                    Some((idx, item)) => {
-                        let r = f(item);
-                        results.lock().expect("results lock").push((idx, r));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("results lock");
-    out.sort_by_key(|(idx, _)| *idx);
-    out.into_iter().map(|(_, r)| r).collect()
-}
+// The experiments are embarrassingly parallel over instances; the executor
+// lives in `rmt-par` (shared with the parallel deciders) and is re-exported
+// here so the `e*` binaries keep their historical import path.
+pub use rmt_par::{configured_threads, parallel_map, threads_from};
 
 /// Runs `f`, returning its result and wall-clock duration.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {

@@ -5,10 +5,17 @@
 //! * [`zpp`] — the **RMT 𝒵-pp cut** of Definition 7: the obstruction in the
 //!   ad hoc model (Theorems 7 and 8), decidable both by exhaustive cut
 //!   enumeration and by the polynomial Z-CPA fixpoint.
+//! * [`par`] — deterministic parallel twins of the deciders above: same
+//!   witnesses, same observed counters, on up to `threads` OS threads.
 
+pub mod par;
 pub mod rmt_cut;
 pub mod zpp;
 
+pub use par::{
+    find_rmt_cut_par, find_rmt_cut_par_observed, zpp_cut_by_enumeration_par,
+    zpp_cut_by_fixpoint_par, zpp_cut_by_fixpoint_par_observed,
+};
 pub use rmt_cut::{find_rmt_cut, find_rmt_cut_observed, is_rmt_cut, rmt_cut_exists, RmtCutWitness};
 pub use zpp::{
     is_zpp_cut, zcpa_fixpoint, zcpa_fixpoint_broadcast, zcpa_fixpoint_observed, zcpa_resilient,

@@ -46,7 +46,7 @@ pub fn is_rmt_cut(inst: &Instance, cache: &KnowledgeCache, c: &NodeSet) -> Optio
     is_rmt_cut_counted(inst, cache, c, None)
 }
 
-fn is_rmt_cut_counted(
+pub(crate) fn is_rmt_cut_counted(
     inst: &Instance,
     cache: &KnowledgeCache,
     c: &NodeSet,

@@ -207,23 +207,34 @@ fn zpp_fixpoint_search(
     inst: &Instance,
     mut fixpoint: impl FnMut(&NodeSet) -> NodeSet,
 ) -> Option<ZppCutWitness> {
-    let (d, r) = (inst.dealer(), inst.receiver());
+    let r = inst.receiver();
     for t in inst.worst_case_corruptions() {
         let decided = fixpoint(&t);
         if !decided.contains(r) {
-            // Only the part of T that actually matters for separation needs
-            // to be in the cut; T itself is admissible and sufficient.
-            let mut cut = t.union(&decided);
-            cut.remove(d);
-            cut.remove(r);
-            return Some(ZppCutWitness {
-                cut: cut.clone(),
-                c1: t.clone(),
-                c2: cut.difference(&t),
-            });
+            return Some(witness_from_failed_corruption(inst, &t, &decided));
         }
     }
     None
+}
+
+/// The 𝒵-pp-cut witness a failing corruption set yields: `C₁ = T`,
+/// `C₂ = ` the decided honest nodes (shared by the sequential and parallel
+/// fixpoint deciders so their witnesses are byte-identical).
+pub(crate) fn witness_from_failed_corruption(
+    inst: &Instance,
+    t: &NodeSet,
+    decided: &NodeSet,
+) -> ZppCutWitness {
+    // Only the part of T that actually matters for separation needs
+    // to be in the cut; T itself is admissible and sufficient.
+    let mut cut = t.union(decided);
+    cut.remove(inst.dealer());
+    cut.remove(inst.receiver());
+    ZppCutWitness {
+        cut: cut.clone(),
+        c1: t.clone(),
+        c2: cut.difference(t),
+    }
 }
 
 /// `true` iff the instance admits an RMT 𝒵-pp cut — i.e. (Theorems 7+8) iff

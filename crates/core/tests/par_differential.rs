@@ -1,0 +1,97 @@
+//! Differential suite: every parallel decider must be **byte-identical** to
+//! its sequential original — same witness on solvable instances, the same
+//! `None` on unsolvable ones — at 1, 2 and 8 threads, on proptest-generated
+//! instances.
+//!
+//! The case count scales with `PROPTEST_CASES` (CI raises it for this
+//! suite); the default keeps local runs fast.
+
+use proptest::prelude::*;
+use rmt_core::cuts::{
+    find_rmt_cut, find_rmt_cut_par, zpp_cut_by_enumeration, zpp_cut_by_enumeration_par,
+    zpp_cut_by_fixpoint, zpp_cut_by_fixpoint_par,
+};
+use rmt_core::sampling::random_instance;
+use rmt_core::KnowledgeCache;
+use rmt_graph::{generators, ViewKind};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn cases() -> ProptestConfig {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    ProptestConfig::with_cases(n)
+}
+
+fn instance_params() -> impl Strategy<Value = (usize, u64)> {
+    (5usize..9, 0u64..u64::MAX)
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    /// `find_rmt_cut_par` returns the sequential witness (or `None`) for
+    /// every thread count. Adjacent-endpoint and disconnected instances are
+    /// all reachable through the sampler.
+    #[test]
+    fn rmt_cut_decider_is_thread_count_invariant((n, seed) in instance_params(), adhoc in any::<bool>()) {
+        let mut rng = generators::seeded(seed);
+        let views = if adhoc { ViewKind::AdHoc } else { ViewKind::Full };
+        let inst = random_instance(n, 0.4, views, 3, 2, &mut rng);
+        let sequential = find_rmt_cut(&inst);
+        for threads in THREADS {
+            prop_assert_eq!(&sequential, &find_rmt_cut_par(&inst, threads), "threads = {}", threads);
+        }
+    }
+
+    /// Same for the 𝒵-pp enumeration decider.
+    #[test]
+    fn zpp_enumeration_is_thread_count_invariant((n, seed) in instance_params()) {
+        let mut rng = generators::seeded(seed);
+        let inst = random_instance(n, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+        let sequential = zpp_cut_by_enumeration(&inst);
+        for threads in THREADS {
+            prop_assert_eq!(&sequential, &zpp_cut_by_enumeration_par(&inst, threads), "threads = {}", threads);
+        }
+    }
+
+    /// Same for the fixpoint decider: the corruption-set scan is searched in
+    /// parallel, and the witness must come from the same (first) failing set.
+    #[test]
+    fn zpp_fixpoint_is_thread_count_invariant((n, seed) in instance_params()) {
+        let mut rng = generators::seeded(seed);
+        let inst = random_instance(n, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
+        let sequential = zpp_cut_by_fixpoint(&inst);
+        for threads in THREADS {
+            prop_assert_eq!(&sequential, &zpp_cut_by_fixpoint_par(&inst, threads), "threads = {}", threads);
+        }
+    }
+
+    /// The bounded joint-view materialization: the parallel fold must make
+    /// the same `Some`/`None` blow-up decision and, when it materializes,
+    /// produce the identical antichain.
+    #[test]
+    fn bounded_materialize_is_thread_count_invariant((n, seed) in instance_params(), bound_sel in 0usize..4) {
+        let mut rng = generators::seeded(seed);
+        let inst = random_instance(n, 0.5, ViewKind::AdHoc, 3, 2, &mut rng);
+        let cache = KnowledgeCache::new(&inst);
+        let b = inst.graph().nodes().clone();
+        let view = cache.joint_view(&b);
+        let bound = [0usize, 1, 4, usize::MAX][bound_sel];
+        let sequential = view.materialize_bounded(bound);
+        for threads in THREADS {
+            let parallel = view.materialize_bounded_par(bound, threads);
+            match (&sequential, &parallel) {
+                (Some(s), Some(p)) => prop_assert_eq!(
+                    s.structure().maximal_sets(),
+                    p.structure().maximal_sets(),
+                    "threads = {}", threads
+                ),
+                (None, None) => {}
+                _ => prop_assert!(false, "Some/None divergence at threads = {}", threads),
+            }
+        }
+    }
+}

@@ -40,6 +40,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Adds `other`'s count to this counter (shard merge).
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
 }
 
 /// A last-value-wins gauge that also tracks its maximum.
@@ -69,6 +74,16 @@ impl Gauge {
     /// The largest value ever set.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// Merges `other` into this gauge element-wise by maximum.
+    ///
+    /// Gauges merged from worker shards are peak-style readings (the
+    /// last-writer-wins semantics of `set` has no cross-shard meaning), so
+    /// the merge keeps the larger of both `value`s and both `max`es.
+    pub fn merge_from(&self, other: &Gauge) {
+        self.value.fetch_max(other.get(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
     }
 }
 
@@ -152,6 +167,32 @@ impl Histogram {
             0.0
         } else {
             self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Merges all of `other`'s samples into this histogram (shard merge).
+    ///
+    /// Exact when `other` is quiescent (its workers have finished), which is
+    /// the shard-merge situation: counts, sums, extrema and buckets all end
+    /// up as if every sample had been recorded here directly.
+    pub fn merge_from(&self, other: &Histogram) {
+        let n = other.count();
+        if n == 0 {
+            return;
+        }
+        let inner = &self.0;
+        if inner.count.fetch_add(n, Ordering::Relaxed) == 0 {
+            inner.min.store(other.min(), Ordering::Relaxed);
+        } else {
+            inner.min.fetch_min(other.min(), Ordering::Relaxed);
+        }
+        inner.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        inner.max.fetch_max(other.max(), Ordering::Relaxed);
+        for (bucket, src) in inner.buckets.iter().zip(&other.0.buckets) {
+            let c = src.load(Ordering::Relaxed);
+            if c > 0 {
+                bucket.fetch_add(c, Ordering::Relaxed);
+            }
         }
     }
 
@@ -239,6 +280,46 @@ impl Registry {
     /// Starts a scoped timer recording into histogram `name` (in ns).
     pub fn timer(&self, name: &str) -> ScopedTimer {
         ScopedTimer::new(self.histogram(name))
+    }
+
+    /// Merges every metric of `other` into this registry by name, creating
+    /// missing metrics on the fly.
+    ///
+    /// This is how per-worker **shards** flow back into a run's registry:
+    /// give each worker a fresh `Registry`, let it record freely without
+    /// contending on the shared one, then `merge_from` each shard after the
+    /// join. Counters and histograms add; gauges merge by maximum. Merging a
+    /// quiescent shard is exact — totals equal single-registry recording.
+    pub fn merge_from(&self, other: &Registry) {
+        let (counters, gauges, histograms) = {
+            let inner = other.inner.lock().expect("registry lock");
+            (
+                inner
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+                inner
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+                inner
+                    .histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for (name, c) in counters {
+            self.counter(&name).merge_from(&c);
+        }
+        for (name, g) in gauges {
+            self.gauge(&name).merge_from(&g);
+        }
+        for (name, h) in histograms {
+            self.histogram(&name).merge_from(&h);
+        }
     }
 
     /// All metrics as a JSON object, names sorted, suitable for the
@@ -350,6 +431,38 @@ mod tests {
             std::hint::black_box(1 + 1);
         }
         assert_eq!(reg.histogram("op_ns").count(), 1);
+    }
+
+    #[test]
+    fn shard_merge_equals_direct_recording() {
+        // Record a sample stream directly…
+        let direct = Registry::new();
+        // …and the same stream split across two shards, then merged.
+        let merged = Registry::new();
+        let shard_a = Registry::new();
+        let shard_b = Registry::new();
+        for (i, v) in [3u64, 0, 17, 9, 1024, 2].iter().enumerate() {
+            direct.counter("c").add(*v);
+            direct.histogram("h").record(*v);
+            direct.gauge("g").set(*v);
+            let shard = if i % 2 == 0 { &shard_a } else { &shard_b };
+            shard.counter("c").add(*v);
+            shard.histogram("h").record(*v);
+            shard.gauge("g").set(*v);
+        }
+        merged.merge_from(&shard_a);
+        merged.merge_from(&shard_b);
+        assert_eq!(merged.counter("c").get(), direct.counter("c").get());
+        let (dh, mh) = (direct.histogram("h"), merged.histogram("h"));
+        assert_eq!(mh.count(), dh.count());
+        assert_eq!(mh.sum(), dh.sum());
+        assert_eq!(mh.min(), dh.min());
+        assert_eq!(mh.max(), dh.max());
+        assert_eq!(mh.nonzero_buckets(), dh.nonzero_buckets());
+        assert_eq!(merged.gauge("g").max(), direct.gauge("g").max());
+        // Merging an empty shard is a no-op, even for min tracking.
+        merged.merge_from(&Registry::new());
+        assert_eq!(merged.histogram("h").min(), dh.min());
     }
 
     #[test]

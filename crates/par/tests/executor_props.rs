@@ -1,0 +1,121 @@
+//! Property tests for the parallel executor: order preservation, panic
+//! propagation, idle-thread avoidance and `search_min`'s least-index
+//! guarantee, differentially against the sequential scan.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rmt_par::{default_chunk, effective_threads, parallel_map, search_min, threads_from};
+
+fn cases() -> ProptestConfig {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    ProptestConfig::with_cases(n)
+}
+
+proptest! {
+    #![proptest_config(cases())]
+
+    /// `out[i] == f(items[i])` for every thread count, including
+    /// `threads > len` and the empty input.
+    #[test]
+    fn map_preserves_order(items in proptest::collection::vec(-1_000_000i64..1_000_000, 0..80), threads in 1usize..12) {
+        let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(3) ^ 7).collect();
+        let out = parallel_map(items, threads, |x: i64| x.wrapping_mul(3) ^ 7);
+        prop_assert_eq!(out, expected);
+    }
+
+    /// No more than `min(threads, len)` distinct workers ever touch the
+    /// items: surplus threads are not spawned at all.
+    #[test]
+    fn no_idle_workers(len in 0usize..40, threads in 1usize..16) {
+        let ids = Mutex::new(HashSet::new());
+        parallel_map((0..len).collect(), threads, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let distinct = ids.into_inner().unwrap().len();
+        prop_assert!(
+            distinct <= effective_threads(threads, len),
+            "{distinct} workers for {len} items on {threads} threads"
+        );
+    }
+
+    /// `search_min` returns exactly what the sequential first-match scan
+    /// returns — same index, same witness — for any thread count and chunk
+    /// size, on a predicate with arbitrary hit positions.
+    #[test]
+    fn search_min_matches_sequential_scan(
+        len in 0u64..300,
+        hits in proptest::collection::btree_set(0u64..300, 0..20),
+        threads in 1usize..9,
+        chunk in 0u64..8,
+    ) {
+        let pred = |i: u64| hits.contains(&i).then(|| i * 10);
+        let sequential = (0..len).find_map(|i| pred(i).map(|r| (i, r)));
+        prop_assert_eq!(search_min(len, threads, chunk, pred), sequential);
+    }
+
+    /// Every index below the winner is evaluated exactly once, and the
+    /// winner itself exactly once: no skipped prefix, no double work there.
+    #[test]
+    fn search_min_covers_the_prefix(len in 1u64..200, win in 0u64..200, threads in 1usize..9) {
+        let win = win % len;
+        let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let found = search_min(len, threads, default_chunk(len, threads), |i| {
+            counts[i as usize].fetch_add(1, Ordering::Relaxed);
+            (i == win).then_some(())
+        });
+        prop_assert_eq!(found, Some((win, ())));
+        for (i, c) in counts.iter().take(win as usize + 1).enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+}
+
+#[test]
+fn worker_panics_propagate_with_the_item_index() {
+    for threads in [1, 2, 8] {
+        let err = std::panic::catch_unwind(|| {
+            parallel_map((0..50).collect(), threads, |x: i32| {
+                assert!(x != 17, "boom on {x}");
+                x
+            })
+        })
+        .expect_err("the panic must reach the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload carries context");
+        assert!(
+            msg.contains("item 17") && msg.contains("boom on 17"),
+            "unexpected panic message: {msg}"
+        );
+    }
+}
+
+#[test]
+fn empty_input_returns_empty_without_spawning() {
+    let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 8, |x| x);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn thread_knob_resolution_order() {
+    let args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert_eq!(
+        threads_from(&args(&["bin", "--threads", "6"]), Some("3")),
+        6
+    );
+    assert_eq!(threads_from(&args(&["bin", "--threads=2"]), Some("3")), 2);
+    assert_eq!(threads_from(&args(&["bin"]), Some("3")), 3);
+    // Invalid values fall through.
+    assert_eq!(
+        threads_from(&args(&["bin", "--threads", "zero"]), Some("5")),
+        5
+    );
+    assert!(threads_from(&args(&["bin"]), Some("0")) >= 1);
+}

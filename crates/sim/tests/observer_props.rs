@@ -71,6 +71,46 @@ proptest! {
         prop_assert_eq!(watched.render(), replayed.render());
     }
 
+    /// Observation transparency extends to the *parallel* instrumented
+    /// deciders: for any instance and thread count, the per-worker counter
+    /// shards merged into the registry total exactly what the sequential
+    /// instrumented decider records — overshoot past the winning candidate
+    /// never leaks into the artifact.
+    #[test]
+    fn parallel_observed_deciders_emit_sequential_counter_totals(
+        (n, p, seed) in (5usize..9, 0.3f64..0.6, any::<u64>()),
+        threads in 2usize..9,
+    ) {
+        use rmt_core::cuts::{
+            find_rmt_cut_observed, find_rmt_cut_par_observed, zpp_cut_by_fixpoint_observed,
+            zpp_cut_by_fixpoint_par_observed,
+        };
+        let mut rng = generators::seeded(seed);
+        let inst = rmt_core::sampling::random_instance(n, p, rmt_graph::ViewKind::AdHoc, 3, 2, &mut rng);
+        let (seq, par) = (rmt_obs::Registry::new(), rmt_obs::Registry::new());
+        prop_assert_eq!(
+            find_rmt_cut_observed(&inst, &seq),
+            find_rmt_cut_par_observed(&inst, &par, threads)
+        );
+        prop_assert_eq!(
+            zpp_cut_by_fixpoint_observed(&inst, &seq),
+            zpp_cut_by_fixpoint_par_observed(&inst, &par, threads)
+        );
+        for name in [
+            "rmt_cut.candidates_examined",
+            "rmt_cut.partition_checks",
+            "zpp.corruption_sets_checked",
+            "zcpa.sweeps",
+            "zcpa.certification_checks",
+        ] {
+            prop_assert_eq!(seq.counter(name).get(), par.counter(name).get(), "{}", name);
+        }
+        // Wall-clock histograms disagree on duration but never on shape.
+        for name in ["rmt_cut.search_ns", "zpp.decide_ns"] {
+            prop_assert_eq!(seq.histogram(name).count(), par.histogram(name).count(), "{}", name);
+        }
+    }
+
     /// Recorded events survive a JSONL round trip losslessly, and the
     /// encoding itself is a fixpoint (encode ∘ parse ∘ encode = encode).
     #[test]

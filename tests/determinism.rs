@@ -1,0 +1,137 @@
+//! Tier-1 determinism gate: an E6-style workload run at `RMT_THREADS`
+//! 1, 2 and 8 (plus whatever the environment resolves to) must produce
+//! identical witnesses, identical simulator [`Metrics`] and identical
+//! machine-readable counter snapshots — wall-clock histograms aside.
+//!
+//! This is the end-to-end version of the per-decider differential suite in
+//! `rmt-core`: it exercises the whole artifact path the `e*` binaries use.
+
+use rmt_par::configured_threads;
+
+use rmt_core::cuts::{
+    find_rmt_cut_par_observed, zpp_cut_by_enumeration_par, zpp_cut_by_fixpoint_par_observed,
+};
+use rmt_core::protocols::zcpa::run_zcpa;
+use rmt_core::sampling::{random_instance_nonadjacent, threshold_instance};
+use rmt_core::{Instance, KnowledgeCache};
+use rmt_graph::generators::{self, seeded};
+use rmt_graph::ViewKind;
+use rmt_obs::{Json, Registry};
+use rmt_sets::NodeSet;
+use rmt_sim::{Metrics, SilentAdversary};
+
+/// The per-run record every thread count must reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct RunRecord {
+    witnesses: Vec<String>,
+    metrics: Vec<Metrics>,
+    counters: String,
+}
+
+/// The E6-style workload: deterministic instance families, instrumented
+/// parallel deciders, honest Z-CPA runs.
+fn run_workload(threads: usize) -> RunRecord {
+    let reg = Registry::new();
+    let mut witnesses = Vec::new();
+    let mut metrics = Vec::new();
+
+    // Family 1: rings with chords under a global threshold (E6's shape).
+    let mut rng = seeded(0xDE7);
+    for &n in &[8usize, 10] {
+        let g = generators::ring_with_chords(n, n / 4, &mut rng);
+        let inst = threshold_instance(g, 0, ViewKind::AdHoc, 0, (n / 2) as u32);
+        witnesses.push(format!(
+            "{:?}",
+            find_rmt_cut_par_observed(&inst, &reg, threads)
+        ));
+        witnesses.push(format!(
+            "{:?}",
+            zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads)
+        ));
+        witnesses.push(format!("{:?}", zpp_cut_by_enumeration_par(&inst, threads)));
+        let out = run_zcpa(&inst, 7, SilentAdversary::new(NodeSet::new()));
+        assert_eq!(out.decision(inst.receiver()), Some(7));
+        metrics.push(out.metrics);
+    }
+
+    // Family 2: random instances, including unsolvable ones (full scans).
+    for trial in 0..4u64 {
+        let mut rng = seeded(0xDE70 + trial);
+        let inst = random_instance_nonadjacent(7, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
+        witnesses.push(format!(
+            "{:?}",
+            find_rmt_cut_par_observed(&inst, &reg, threads)
+        ));
+        witnesses.push(format!(
+            "{:?}",
+            zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads)
+        ));
+        materialize_all(&inst, threads, &reg, &mut witnesses);
+    }
+
+    RunRecord {
+        witnesses,
+        metrics,
+        counters: strip_wall_clock(reg.to_json()).encode(),
+    }
+}
+
+/// Materializes the full joint view through the parallel bounded fold.
+fn materialize_all(inst: &Instance, threads: usize, reg: &Registry, witnesses: &mut Vec<String>) {
+    let cache = KnowledgeCache::new(inst);
+    let view = cache.joint_view(inst.graph().nodes());
+    for bound in [2, usize::MAX] {
+        let m = view.materialize_bounded_par_observed(bound, threads, reg);
+        witnesses.push(format!(
+            "{:?}",
+            m.map(|r| r.structure().maximal_sets().to_vec())
+        ));
+    }
+}
+
+/// Drops `*_ns` histograms (wall time varies run to run); everything else in
+/// the snapshot must be bit-for-bit reproducible.
+fn strip_wall_clock(counters: Json) -> Json {
+    match counters {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(name, _)| !name.ends_with("_ns"))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[test]
+fn workload_is_identical_for_every_thread_count() {
+    let baseline = run_workload(1);
+    assert!(
+        !baseline.witnesses.is_empty() && !baseline.counters.is_empty(),
+        "the workload must actually exercise the deciders"
+    );
+    // `configured_threads()` folds the CI matrix (RMT_THREADS=1 / 8) into
+    // the tested set.
+    for threads in [2, 8, configured_threads()] {
+        let run = run_workload(threads);
+        assert_eq!(baseline, run, "divergence at {threads} threads");
+    }
+}
+
+#[test]
+fn wall_clock_histogram_counts_are_still_deterministic() {
+    // The *_ns entries are excluded from the byte comparison, but their
+    // *counts* (how many timed sections ran) must not depend on threads.
+    let counts = |threads: usize| {
+        let reg = Registry::new();
+        let mut rng = seeded(0xDE8);
+        let inst = random_instance_nonadjacent(7, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+        let _ = find_rmt_cut_par_observed(&inst, &reg, threads);
+        let _ = zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads);
+        (
+            reg.histogram("rmt_cut.search_ns").count(),
+            reg.histogram("zpp.decide_ns").count(),
+        )
+    };
+    assert_eq!(counts(1), counts(8));
+}
