@@ -1,0 +1,311 @@
+//! The declarative fault model: what the network may do to each message.
+//!
+//! A [`FaultPlan`] is pure data — a seed plus per-link policies, node
+//! crashes and transient partitions. The `NetRunner` interprets it with the
+//! stateless [`FaultRng`](crate::FaultRng), so a run is bit-reproducible
+//! from `(plan, protocol, adversary)` alone, and the *empty* plan is
+//! guaranteed transparent (the differential gate against `rmt-sim`'s
+//! `Runner` checks this byte for byte).
+
+use std::collections::HashMap;
+
+use rmt_sets::{NodeId, NodeSet};
+
+/// What one directed link may do to each message it carries.
+///
+/// Probabilities are evaluated per message with independent seeded draws;
+/// the default policy (all zeros) is transparent — the link behaves like the
+/// perfect synchronous channel of the paper's model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkPolicy {
+    /// Probability the message is lost.
+    pub drop: f64,
+    /// Probability delivery is delayed beyond the synchronous `r + 1` bound.
+    pub delay: f64,
+    /// Maximum extra delay in rounds; a delayed message arrives at
+    /// `r + 1 + d` with `d` uniform in `1..=max_delay`. Ignored while
+    /// `delay` is zero.
+    pub max_delay: u32,
+    /// Probability a second copy of the message is enqueued (with its own
+    /// independent delay draw).
+    pub duplicate: f64,
+    /// Scramble within-round delivery order: messages on this link get a
+    /// seeded pseudorandom delivery sequence instead of send order, so a
+    /// recipient's inbox no longer reflects the order in which its
+    /// neighbours sent.
+    pub reorder: bool,
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        LinkPolicy {
+            drop: 0.0,
+            delay: 0.0,
+            max_delay: 0,
+            duplicate: 0.0,
+            reorder: false,
+        }
+    }
+}
+
+impl LinkPolicy {
+    /// The perfect channel: no faults at all.
+    pub fn transparent() -> Self {
+        LinkPolicy::default()
+    }
+
+    /// `true` if this policy can never alter a message's fate.
+    pub fn is_transparent(&self) -> bool {
+        self.drop <= 0.0
+            && (self.delay <= 0.0 || self.max_delay == 0)
+            && self.duplicate <= 0.0
+            && !self.reorder
+    }
+
+    /// The largest extra delay this policy can inject.
+    pub fn effective_max_delay(&self) -> u32 {
+        if self.delay > 0.0 {
+            self.max_delay
+        } else {
+            0
+        }
+    }
+}
+
+/// A transient network partition: while active, messages *sent* in
+/// `rounds` that cross between `side` and its complement are lost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// First send round the partition affects.
+    pub from_round: u32,
+    /// Last send round the partition affects (inclusive).
+    pub to_round: u32,
+    /// One side of the split; the other side is everything else.
+    pub side: NodeSet,
+}
+
+impl Partition {
+    /// `true` if a message sent `from → to` in `round` crosses the split
+    /// while it is active.
+    pub fn cuts(&self, from: NodeId, to: NodeId, round: u32) -> bool {
+        (self.from_round..=self.to_round).contains(&round)
+            && self.side.contains(from) != self.side.contains(to)
+    }
+}
+
+/// The full fault schedule of one run.
+///
+/// Built with the `with_*` combinators; an unmodified `FaultPlan::new(seed)`
+/// is empty and therefore transparent.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default_policy: LinkPolicy,
+    links: HashMap<(NodeId, NodeId), LinkPolicy>,
+    crashes: HashMap<NodeId, u32>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// The empty (transparent) plan with the given fault seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed all fault draws derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Applies `policy` to every link without an explicit override.
+    pub fn with_default_policy(mut self, policy: LinkPolicy) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
+    /// Overrides the policy of the directed link `from → to`.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, policy: LinkPolicy) -> Self {
+        self.links.insert((from, to), policy);
+        self
+    }
+
+    /// Overrides both directions of the `u – v` link.
+    pub fn with_link_symmetric(self, u: NodeId, v: NodeId, policy: LinkPolicy) -> Self {
+        self.with_link(u, v, policy).with_link(v, u, policy)
+    }
+
+    /// Crash-stops `node` at `round`: from that round on it neither acts nor
+    /// sends (an honest node's protocol is no longer invoked; a corrupted
+    /// node's adversarial sends are dropped).
+    pub fn with_crash(mut self, node: NodeId, round: u32) -> Self {
+        self.crashes.insert(node, round);
+        self
+    }
+
+    /// Adds a transient partition.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// The policy governing `from → to`.
+    pub fn policy(&self, from: NodeId, to: NodeId) -> &LinkPolicy {
+        self.links.get(&(from, to)).unwrap_or(&self.default_policy)
+    }
+
+    /// The round `node` crash-stops at, if any.
+    pub fn crash_round(&self, node: NodeId) -> Option<u32> {
+        self.crashes.get(&node).copied()
+    }
+
+    /// `true` if `node` is dead in `round`.
+    pub fn crashed(&self, node: NodeId, round: u32) -> bool {
+        self.crash_round(node).is_some_and(|r| r <= round)
+    }
+
+    /// The nodes crashing exactly at `round`, in ascending order (for
+    /// deterministic event emission).
+    pub fn crashes_at(&self, round: u32) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .crashes
+            .iter()
+            .filter(|&(_, &r)| r == round)
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `true` if some active partition separates `from` and `to` for a
+    /// message sent in `round`.
+    pub fn partitioned(&self, from: NodeId, to: NodeId, round: u32) -> bool {
+        self.partitions.iter().any(|p| p.cuts(from, to, round))
+    }
+
+    /// `true` if the plan can never alter a run: no crashes, no partitions,
+    /// and every policy (default and overrides) transparent.
+    ///
+    /// This is the hypothesis of the differential gate: an empty plan makes
+    /// `NetRunner` byte-identical to `Runner`.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.default_policy.is_transparent()
+            && self.links.values().all(LinkPolicy::is_transparent)
+    }
+
+    /// The largest extra delay any policy of this plan can inject; the
+    /// `NetRunner` scales its default round cap by `1 + max_delay()` so
+    /// delay faults cannot silently truncate a run that would quiesce.
+    pub fn max_delay(&self) -> u32 {
+        self.links
+            .values()
+            .chain(std::iter::once(&self.default_policy))
+            .map(LinkPolicy::effective_max_delay)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_transparent() {
+        let plan = FaultPlan::new(9);
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_delay(), 0);
+        assert!(plan.policy(0.into(), 1.into()).is_transparent());
+        assert!(!plan.crashed(0.into(), 100));
+        assert!(!plan.partitioned(0.into(), 1.into(), 3));
+    }
+
+    #[test]
+    fn link_overrides_beat_the_default() {
+        let lossy = LinkPolicy {
+            drop: 0.5,
+            ..LinkPolicy::default()
+        };
+        let plan = FaultPlan::new(0)
+            .with_default_policy(LinkPolicy::transparent())
+            .with_link(0.into(), 1.into(), lossy);
+        assert_eq!(plan.policy(0.into(), 1.into()).drop, 0.5);
+        assert_eq!(plan.policy(1.into(), 0.into()).drop, 0.0); // directed
+        assert!(!plan.is_empty());
+        let sym = FaultPlan::new(0).with_link_symmetric(0.into(), 1.into(), lossy);
+        assert_eq!(sym.policy(1.into(), 0.into()).drop, 0.5);
+    }
+
+    #[test]
+    fn delay_without_probability_is_transparent() {
+        let pol = LinkPolicy {
+            max_delay: 5,
+            ..LinkPolicy::default()
+        };
+        assert!(pol.is_transparent());
+        assert_eq!(pol.effective_max_delay(), 0);
+        let plan = FaultPlan::new(0).with_default_policy(pol);
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_delay(), 0);
+    }
+
+    #[test]
+    fn max_delay_scans_all_policies() {
+        let plan = FaultPlan::new(0)
+            .with_default_policy(LinkPolicy {
+                delay: 0.1,
+                max_delay: 2,
+                ..LinkPolicy::default()
+            })
+            .with_link(
+                0.into(),
+                1.into(),
+                LinkPolicy {
+                    delay: 1.0,
+                    max_delay: 7,
+                    ..LinkPolicy::default()
+                },
+            );
+        assert_eq!(plan.max_delay(), 7);
+    }
+
+    #[test]
+    fn crash_schedule_is_queried_by_round() {
+        let plan = FaultPlan::new(0)
+            .with_crash(2.into(), 3)
+            .with_crash(1.into(), 3)
+            .with_crash(4.into(), 0);
+        assert!(!plan.crashed(2.into(), 2));
+        assert!(plan.crashed(2.into(), 3));
+        assert!(plan.crashed(4.into(), 9));
+        assert_eq!(plan.crashes_at(3), vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(plan.crashes_at(1), Vec::<NodeId>::new());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn partitions_cut_crossing_traffic_only_while_active() {
+        let p = Partition {
+            from_round: 2,
+            to_round: 4,
+            side: set(&[0, 1]),
+        };
+        assert!(p.cuts(0.into(), 2.into(), 2));
+        assert!(p.cuts(2.into(), 1.into(), 4));
+        assert!(!p.cuts(0.into(), 1.into(), 3)); // same side
+        assert!(!p.cuts(2.into(), 3.into(), 3)); // same (other) side
+        assert!(!p.cuts(0.into(), 2.into(), 1)); // not yet active
+        assert!(!p.cuts(0.into(), 2.into(), 5)); // healed
+        let plan = FaultPlan::new(0).with_partition(p);
+        assert!(plan.partitioned(0.into(), 3.into(), 3));
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The stateless deterministic PRNG behind fault decisions.
+//!
+//! Every fault decision is a pure function of `(seed, round, from, to, k,
+//! salt)` — no mutable generator state — so a decision never depends on how
+//! much *other* traffic the network carried, only on the message's own
+//! coordinates. Two runs with the same plan make identical decisions for
+//! identical messages even if unrelated traffic differs, and replaying a
+//! single edge's history needs no global replay.
+//!
+//! The mixer is SplitMix64 (Steele et al., *Fast splittable pseudorandom
+//! number generators*), folded over the coordinates. It is not
+//! cryptographic and does not need to be: the adversary model already grants
+//! full information.
+
+/// One SplitMix64 step: mixes `x` into a well-distributed 64-bit value.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Distinguishes the independent draws made for one message, so e.g. the
+/// drop decision and the delay amount are uncorrelated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Salt {
+    /// Should the link drop the message?
+    Drop,
+    /// Should the link duplicate the message?
+    Duplicate,
+    /// Should copy `c` be delayed?
+    Delay(u32),
+    /// By how many rounds is copy `c` delayed?
+    DelayAmount(u32),
+    /// Scrambled delivery sequence for copy `c` (reordering links).
+    Sequence(u32),
+}
+
+impl Salt {
+    fn raw(self) -> u64 {
+        match self {
+            Salt::Drop => 1,
+            Salt::Duplicate => 2,
+            Salt::Delay(c) => 3 | (u64::from(c) << 8),
+            Salt::DelayAmount(c) => 4 | (u64::from(c) << 8),
+            Salt::Sequence(c) => 5 | (u64::from(c) << 8),
+        }
+    }
+}
+
+/// The seeded, stateless fault-decision source.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRng {
+    seed: u64,
+}
+
+impl FaultRng {
+    /// Creates the source for `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { seed }
+    }
+
+    /// The raw 64-bit draw for one `(round, from, to, k, salt)` coordinate,
+    /// where `k` is the message's index among the round's `from → to`
+    /// traffic.
+    pub(crate) fn draw(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> u64 {
+        let mut h = splitmix64(self.seed);
+        h = splitmix64(h ^ u64::from(round));
+        h = splitmix64(h ^ (u64::from(from) << 32 | u64::from(to)));
+        h = splitmix64(h ^ u64::from(k));
+        splitmix64(h ^ salt.raw())
+    }
+
+    /// The draw mapped uniformly into `[0, 1)` (53 mantissa bits).
+    pub(crate) fn unit(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> f64 {
+        (self.draw(round, from, to, k, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_salt_sensitive() {
+        let rng = FaultRng::new(42);
+        assert_eq!(
+            rng.draw(3, 1, 2, 0, Salt::Drop),
+            rng.draw(3, 1, 2, 0, Salt::Drop)
+        );
+        assert_ne!(
+            rng.draw(3, 1, 2, 0, Salt::Drop),
+            rng.draw(3, 1, 2, 0, Salt::Duplicate)
+        );
+        assert_ne!(
+            rng.draw(3, 1, 2, 0, Salt::Delay(0)),
+            rng.draw(3, 1, 2, 0, Salt::Delay(1))
+        );
+        assert_ne!(
+            rng.draw(3, 1, 2, 0, Salt::Drop),
+            FaultRng::new(43).draw(3, 1, 2, 0, Salt::Drop)
+        );
+    }
+
+    #[test]
+    fn direction_and_message_index_matter() {
+        let rng = FaultRng::new(7);
+        assert_ne!(
+            rng.draw(1, 2, 5, 0, Salt::Drop),
+            rng.draw(1, 5, 2, 0, Salt::Drop)
+        );
+        assert_ne!(
+            rng.draw(1, 2, 5, 0, Salt::Drop),
+            rng.draw(1, 2, 5, 1, Salt::Drop)
+        );
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range_and_look_uniform() {
+        let rng = FaultRng::new(0xFEED);
+        let mut sum = 0.0;
+        let n = 4096;
+        for k in 0..n {
+            let u = rng.unit(0, 0, 1, k, Salt::Drop);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the fault model and the event-queue scheduler.
+
+use proptest::prelude::*;
+use rmt_graph::generators;
+use rmt_net::{FaultPlan, FaultStats, LinkPolicy, NetRunner, Partition};
+use rmt_obs::VecObserver;
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{testing::Flood, Runner, SilentAdversary};
+
+fn arb_policy() -> impl Strategy<Value = LinkPolicy> {
+    (
+        0.0f64..0.4,
+        0.0f64..0.6,
+        1u32..4,
+        0.0f64..0.3,
+        any::<bool>(),
+    )
+        .prop_map(|(drop, delay, max_delay, duplicate, reorder)| LinkPolicy {
+            drop,
+            delay,
+            max_delay,
+            duplicate,
+            reorder,
+        })
+}
+
+fn arb_setup() -> impl Strategy<Value = (usize, f64, u64)> {
+    (4usize..10, 0.3f64..0.8, any::<u64>())
+}
+
+fn flood_from_zero(v: NodeId) -> Flood {
+    Flood::new(v, (v.index() == 0).then_some(5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The scheduler under an empty plan agrees with the synchronous
+    /// `Runner` on any connected random graph: identical event streams,
+    /// metrics and decisions, and zero fault statistics.
+    #[test]
+    fn empty_plan_matches_runner_everywhere((n, p, seed) in arb_setup()) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let corrupt = NodeSet::singleton(NodeId::new(1));
+        let mut obs_sync = VecObserver::new();
+        let sync = Runner::new(g.clone(), flood_from_zero, SilentAdversary::new(corrupt.clone()))
+            .run_observed(&mut obs_sync);
+        let mut obs_net = VecObserver::new();
+        let net = NetRunner::new(
+            g.clone(),
+            flood_from_zero,
+            SilentAdversary::new(corrupt),
+            FaultPlan::new(seed),
+        )
+        .run_observed(&mut obs_net);
+        prop_assert_eq!(&obs_sync.events, &obs_net.events);
+        prop_assert_eq!(&sync.metrics, &net.metrics);
+        prop_assert_eq!(&net.faults, &FaultStats::default());
+        for v in g.nodes() {
+            prop_assert_eq!(sync.decision(v), net.decision(v));
+        }
+    }
+
+    /// Faulty runs are a pure function of `(graph, plan)`: re-running
+    /// produces bit-identical event streams, metrics, fault statistics and
+    /// decisions.
+    #[test]
+    fn faulty_runs_replay_bit_identically(
+        (n, p, seed) in arb_setup(),
+        policy in arb_policy(),
+        fault_seed in any::<u64>(),
+    ) {
+        let run = || {
+            let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+            let plan = FaultPlan::new(fault_seed).with_default_policy(policy);
+            let mut obs = VecObserver::new();
+            let out = NetRunner::new(
+                g,
+                flood_from_zero,
+                SilentAdversary::new(NodeSet::new()),
+                plan,
+            )
+            .run_observed(&mut obs);
+            let decided = out.decided();
+            (obs.events, out.metrics, out.faults, decided)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+    }
+
+    /// Observation is transparent for the faulty scheduler too: the noop
+    /// path and the observed path agree on metrics, faults and decisions.
+    #[test]
+    fn observed_faulty_runs_match_unobserved(
+        (n, p, seed) in arb_setup(),
+        policy in arb_policy(),
+        fault_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let plan = FaultPlan::new(fault_seed).with_default_policy(policy);
+        let plain = NetRunner::new(
+            g.clone(),
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan.clone(),
+        )
+        .run();
+        let mut obs = VecObserver::new();
+        let observed = NetRunner::new(
+            g.clone(),
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .run_observed(&mut obs);
+        prop_assert_eq!(&plain.metrics, &observed.metrics);
+        prop_assert_eq!(&plain.faults, &observed.faults);
+        for v in g.nodes() {
+            prop_assert_eq!(plain.decision(v), observed.decision(v));
+        }
+        prop_assert!(!obs.events.is_empty());
+    }
+
+    /// Drops only ever remove traffic: every fault statistic is consistent
+    /// with the metrics (a lost message was still sent and paid for), and a
+    /// fully partitioned network delivers nothing across the cut.
+    #[test]
+    fn fault_accounting_is_consistent(
+        (n, p, seed) in arb_setup(),
+        policy in arb_policy(),
+        fault_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let plan = FaultPlan::new(fault_seed).with_default_policy(policy);
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .run();
+        let sent = out.metrics.honest_messages + out.metrics.adversarial_messages;
+        prop_assert!(out.faults.lost() <= sent);
+        prop_assert!(out.faults.max_observed_delay <= 3); // arb_policy bound
+        if policy.duplicate == 0.0 {
+            prop_assert_eq!(out.faults.duplicated, 0);
+        }
+    }
+
+    /// A total partition isolates the two sides for its whole duration: if
+    /// it never heals, no node across the cut ever decides.
+    #[test]
+    fn permanent_partition_blocks_the_far_side((n, p, seed) in arb_setup()) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let side = NodeSet::singleton(NodeId::new(0));
+        let plan = FaultPlan::new(seed).with_partition(Partition {
+            from_round: 0,
+            to_round: u32::MAX,
+            side,
+        });
+        let out = NetRunner::new(
+            g.clone(),
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .run();
+        prop_assert_eq!(out.decision(0.into()), Some(5)); // its own input
+        for v in g.nodes().iter().filter(|v| v.index() != 0) {
+            prop_assert_eq!(out.decision(v), None);
+        }
+    }
+}

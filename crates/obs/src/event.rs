@@ -47,6 +47,42 @@ impl RejectReason {
     }
 }
 
+/// Why the network layer dropped a message.
+///
+/// Unlike [`RejectReason`] (a *model violation* by the adversary), these are
+/// *injected faults* of the fault-injecting scheduler in `rmt-net`: the send
+/// was perfectly valid, the network simply misbehaved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link's drop policy fired.
+    LinkDrop,
+    /// The message crossed an active transient partition.
+    Partitioned,
+    /// The sender had crashed by the send round (only adversarial traffic
+    /// can hit this: crashed honest nodes are never invoked).
+    SenderCrashed,
+}
+
+impl DropReason {
+    /// Snake-case wire name (used in JSON and text renderings).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::LinkDrop => "link_drop",
+            DropReason::Partitioned => "partitioned",
+            DropReason::SenderCrashed => "sender_crashed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "link_drop" => Some(DropReason::LinkDrop),
+            "partitioned" => Some(DropReason::Partitioned),
+            "sender_crashed" => Some(DropReason::SenderCrashed),
+            _ => None,
+        }
+    }
+}
+
 /// One observable step of a run.
 ///
 /// Rounds follow the scheduler's numbering: messages produced in round `r`
@@ -110,6 +146,51 @@ pub enum RunEvent {
         to: u32,
         /// `Debug` rendering of the payload.
         payload: String,
+    },
+    /// The network dropped a (valid) message — an injected fault.
+    FaultDrop {
+        /// Round in which the message was sent.
+        round: u32,
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Which fault fired.
+        reason: DropReason,
+    },
+    /// The network delayed a message past the synchronous `r + 1` bound.
+    FaultDelay {
+        /// Round in which the message was sent.
+        round: u32,
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Extra rounds beyond the synchronous bound (≥ 1).
+        delay: u32,
+        /// The round at which the message will actually arrive
+        /// (`round + 1 + delay`).
+        deliver_round: u32,
+    },
+    /// The network duplicated a message (this event announces the extra
+    /// copy; the original is unaffected).
+    FaultDuplicate {
+        /// Round in which the message was sent.
+        round: u32,
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// The round at which the duplicate arrives.
+        deliver_round: u32,
+    },
+    /// A node crash-stopped: from this round on it neither sends nor
+    /// processes deliveries.
+    NodeCrashed {
+        /// First round the node is dead.
+        round: u32,
+        /// The crashed node.
+        node: u32,
     },
     /// An honest node decided (first round at which its decision became
     /// non-`None`).
@@ -190,6 +271,49 @@ impl RunEvent {
                 ("from", Json::from(*from)),
                 ("to", Json::from(*to)),
                 ("payload", Json::from(payload.clone())),
+            ]),
+            RunEvent::FaultDrop {
+                round,
+                from,
+                to,
+                reason,
+            } => Json::obj([
+                ("type", Json::from("fault_drop")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            RunEvent::FaultDelay {
+                round,
+                from,
+                to,
+                delay,
+                deliver_round,
+            } => Json::obj([
+                ("type", Json::from("fault_delay")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("delay", Json::from(*delay)),
+                ("deliver_round", Json::from(*deliver_round)),
+            ]),
+            RunEvent::FaultDuplicate {
+                round,
+                from,
+                to,
+                deliver_round,
+            } => Json::obj([
+                ("type", Json::from("fault_duplicate")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("deliver_round", Json::from(*deliver_round)),
+            ]),
+            RunEvent::NodeCrashed { round, node } => Json::obj([
+                ("type", Json::from("node_crashed")),
+                ("round", Json::from(*round)),
+                ("node", Json::from(*node)),
             ]),
             RunEvent::Decision { round, node, value } => Json::obj([
                 ("type", Json::from("decision")),
@@ -274,6 +398,30 @@ impl RunEvent {
                 from: u32_field("from")?,
                 to: u32_field("to")?,
                 payload: str_field("payload")?,
+            }),
+            "fault_drop" => Ok(RunEvent::FaultDrop {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                reason: DropReason::parse(&str_field("reason")?)
+                    .ok_or_else(|| "fault_drop: unknown reason".to_string())?,
+            }),
+            "fault_delay" => Ok(RunEvent::FaultDelay {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                delay: u32_field("delay")?,
+                deliver_round: u32_field("deliver_round")?,
+            }),
+            "fault_duplicate" => Ok(RunEvent::FaultDuplicate {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                deliver_round: u32_field("deliver_round")?,
+            }),
+            "node_crashed" => Ok(RunEvent::NodeCrashed {
+                round: u32_field("round")?,
+                node: u32_field("node")?,
             }),
             "decision" => Ok(RunEvent::Decision {
                 round: u32_field("round")?,
@@ -417,6 +565,26 @@ mod tests {
                 to: 1,
                 reason: RejectReason::ForgedSender,
             },
+            RunEvent::FaultDrop {
+                round: 1,
+                from: 0,
+                to: 3,
+                reason: DropReason::LinkDrop,
+            },
+            RunEvent::FaultDelay {
+                round: 1,
+                from: 2,
+                to: 3,
+                delay: 2,
+                deliver_round: 4,
+            },
+            RunEvent::FaultDuplicate {
+                round: 1,
+                from: 2,
+                to: 3,
+                deliver_round: 2,
+            },
+            RunEvent::NodeCrashed { round: 2, node: 1 },
             RunEvent::Decision {
                 round: 2,
                 node: 2,
@@ -470,5 +638,31 @@ mod tests {
             ("round", Json::from(1u64)),
         ]))
         .is_err());
+        // Fault variants: unknown reasons and missing fields are rejected too.
+        assert!(RunEvent::from_json(&Json::obj([
+            ("type", Json::from("fault_drop")),
+            ("round", Json::from(1u64)),
+            ("from", Json::from(0u64)),
+            ("to", Json::from(1u64)),
+            ("reason", Json::from("gremlins")),
+        ]))
+        .is_err());
+        assert!(RunEvent::from_json(&Json::obj([
+            ("type", Json::from("fault_delay")),
+            ("round", Json::from(1u64)),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn drop_reason_wire_names_round_trip() {
+        for reason in [
+            DropReason::LinkDrop,
+            DropReason::Partitioned,
+            DropReason::SenderCrashed,
+        ] {
+            assert_eq!(DropReason::parse(reason.as_str()), Some(reason));
+        }
+        assert_eq!(DropReason::parse("nope"), None);
     }
 }

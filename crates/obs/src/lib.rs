@@ -20,7 +20,9 @@ pub mod json;
 pub mod registry;
 pub mod trace;
 
-pub use event::{JsonlObserver, NoopObserver, RejectReason, RunEvent, RunObserver, VecObserver};
+pub use event::{
+    DropReason, JsonlObserver, NoopObserver, RejectReason, RunEvent, RunObserver, VecObserver,
+};
 pub use json::{parse_jsonl, to_jsonl, Json, ParseError};
 pub use registry::{Counter, Gauge, Histogram, Registry, ScopedTimer};
 pub use trace::{

@@ -127,6 +127,26 @@ pub fn render_trace(events: &[RunEvent]) -> String {
                 to,
                 payload,
             } => format!("  v{to} <- v{from}: {payload}"),
+            RunEvent::FaultDrop {
+                round: _,
+                from,
+                to,
+                reason,
+            } => format!("  v{from} -> v{to} lost by network: {}", reason.as_str()),
+            RunEvent::FaultDelay {
+                round: _,
+                from,
+                to,
+                delay,
+                deliver_round,
+            } => format!("  v{from} -> v{to} delayed +{delay} (arrives round {deliver_round})"),
+            RunEvent::FaultDuplicate {
+                round: _,
+                from,
+                to,
+                deliver_round,
+            } => format!("  v{from} -> v{to} duplicated (copy arrives round {deliver_round})"),
+            RunEvent::NodeCrashed { round: _, node } => format!("  v{node} crashed"),
             RunEvent::Decision {
                 round: _,
                 node,
@@ -332,6 +352,42 @@ mod tests {
         assert!(view.starts_with("view of v1:\n"));
         assert!(view.contains("  round 1:\n    recv <- v0: x"));
         assert_eq!(render_node_view(&sample(), 3), "view of v3: (empty)\n");
+    }
+
+    #[test]
+    fn fault_events_render_globally_but_stay_out_of_node_views() {
+        // A node cannot tell a network-dropped message from one that was
+        // never sent, nor a delayed delivery from a slow sender — fault
+        // events are omniscient-view only.
+        let events = vec![
+            RunEvent::FaultDrop {
+                round: 1,
+                from: 0,
+                to: 1,
+                reason: crate::event::DropReason::Partitioned,
+            },
+            RunEvent::FaultDelay {
+                round: 1,
+                from: 0,
+                to: 1,
+                delay: 2,
+                deliver_round: 4,
+            },
+            RunEvent::FaultDuplicate {
+                round: 1,
+                from: 0,
+                to: 1,
+                deliver_round: 2,
+            },
+            RunEvent::NodeCrashed { round: 2, node: 1 },
+        ];
+        let text = render_trace(&events);
+        assert!(text.contains("v0 -> v1 lost by network: partitioned"));
+        assert!(text.contains("v0 -> v1 delayed +2 (arrives round 4)"));
+        assert!(text.contains("v0 -> v1 duplicated (copy arrives round 2)"));
+        assert!(text.contains("v1 crashed"));
+        assert!(node_view(&events, 0).is_empty());
+        assert!(node_view(&events, 1).is_empty());
     }
 
     #[test]

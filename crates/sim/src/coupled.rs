@@ -74,7 +74,7 @@ impl<Q: Protocol> CoupledRunner<Q> {
             a[v.index()] = Some(make_e(v));
             b[v.index()] = Some(make_e2(v));
         }
-        let max_rounds = graph.node_count() as u32 + 4;
+        let max_rounds = crate::transport::default_max_rounds(graph.node_count());
         CoupledRunner {
             graph,
             c1,

@@ -50,6 +50,7 @@ mod protocol;
 mod runner;
 pub mod testing;
 pub mod trace;
+pub mod transport;
 
 pub use adversary::{Adversary, FnAdversary, MapAdversary, SilentAdversary};
 pub use coupled::{CoupledOutcome, CoupledRunner};
@@ -58,3 +59,4 @@ pub use metrics::Metrics;
 pub use protocol::{NodeContext, Protocol};
 pub use runner::{RunOutcome, Runner};
 pub use trace::Transcript;
+pub use transport::{default_max_rounds, sweep_decisions, Transport, MAX_ROUNDS_SLACK};

@@ -59,13 +59,19 @@ pub struct RoundInboxes<P> {
 }
 
 impl<P: Payload> RoundInboxes<P> {
-    pub(crate) fn new(size: usize) -> Self {
+    /// Creates empty inboxes for `size` nodes.
+    ///
+    /// Public so external schedulers (`rmt-net`'s `NetRunner`) can assemble
+    /// the per-round delivery structure the [`Adversary`](crate::Adversary)
+    /// interface expects.
+    pub fn new(size: usize) -> Self {
         RoundInboxes {
             inboxes: (0..size).map(|_| Vec::new()).collect(),
         }
     }
 
-    pub(crate) fn push(&mut self, env: Envelope<P>) {
+    /// Files a delivered envelope under its recipient.
+    pub fn push(&mut self, env: Envelope<P>) {
         let idx = env.to.index();
         if idx >= self.inboxes.len() {
             self.inboxes.resize_with(idx + 1, Vec::new);

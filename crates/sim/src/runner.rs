@@ -1,13 +1,14 @@
 use std::collections::HashMap;
 
 use rmt_graph::Graph;
-use rmt_obs::{NoopObserver, RejectReason, RunEvent, RunObserver};
+use rmt_obs::{NoopObserver, RunEvent, RunObserver};
 use rmt_sets::{NodeId, NodeSet};
 
 use crate::adversary::Adversary;
-use crate::message::{DeliveryLog, Envelope, Payload, RoundInboxes};
+use crate::message::{DeliveryLog, Envelope, RoundInboxes};
 use crate::metrics::Metrics;
 use crate::protocol::{NodeContext, Protocol};
+use crate::transport::{default_max_rounds, sweep_decisions, Transport};
 
 /// The synchronous scheduler.
 ///
@@ -20,8 +21,8 @@ use crate::protocol::{NodeContext, Protocol};
 /// [`Metrics::rejected_adversarial`]).
 ///
 /// The run stops at quiescence (nothing delivered and nothing sent) or after
-/// `max_rounds` (default `node_count + 4`, enough for every trail-bounded
-/// protocol in this workspace).
+/// `max_rounds` (default [`default_max_rounds`], enough for every
+/// trail-bounded protocol in this workspace).
 pub struct Runner<Q: Protocol, A> {
     graph: Graph,
     protocols: Vec<Option<Q>>,
@@ -55,7 +56,7 @@ where
                 protocols[v.index()] = Some(make(v));
             }
         }
-        let max_rounds = graph.node_count() as u32 + 4;
+        let max_rounds = default_max_rounds(graph.node_count());
         Runner {
             graph,
             protocols,
@@ -117,57 +118,28 @@ where
                     round: 0,
                     neighbors: self.graph.neighbors(v).clone(),
                 };
-                for (to, payload) in proto.start(&ctx) {
-                    if self.graph.has_edge(v, to) {
-                        metrics.honest_messages += 1;
-                        honest_this_round += 1;
-                        metrics.honest_bits += payload.encoded_bits() as u64;
-                        if O::ACTIVE {
-                            observer.on_event(&RunEvent::HonestSend {
-                                round: 0,
-                                from: v.raw(),
-                                to: to.raw(),
-                                bits: payload.encoded_bits() as u64,
-                                payload: format!("{payload:?}"),
-                            });
-                        }
-                        inflight.push(Envelope::new(v, to, payload));
-                    }
-                }
+                let sends = proto.start(&ctx);
+                inflight.extend(Transport::new(&self.graph).admit_honest(
+                    0,
+                    v,
+                    sends,
+                    &mut metrics,
+                    &mut honest_this_round,
+                    observer,
+                ));
             }
         }
-        for env in self.adversary.start(&self.graph) {
-            let forged = !self.adversary.corrupted().contains(env.from);
-            if !forged && self.graph.has_edge(env.from, env.to) {
-                metrics.adversarial_messages += 1;
-                if O::ACTIVE {
-                    observer.on_event(&RunEvent::AdversarialSend {
-                        round: 0,
-                        from: env.from.raw(),
-                        to: env.to.raw(),
-                        payload: format!("{:?}", env.payload),
-                    });
-                }
-                inflight.push(env);
-            } else {
-                metrics.rejected_adversarial += 1;
-                if O::ACTIVE {
-                    observer.on_event(&RunEvent::RejectedSend {
-                        round: 0,
-                        from: env.from.raw(),
-                        to: env.to.raw(),
-                        reason: if forged {
-                            RejectReason::ForgedSender
-                        } else {
-                            RejectReason::NoSuchEdge
-                        },
-                    });
-                }
-            }
-        }
+        let adversarial = self.adversary.start(&self.graph);
+        inflight.extend(Transport::new(&self.graph).admit_adversarial(
+            0,
+            self.adversary.corrupted(),
+            adversarial,
+            &mut metrics,
+            observer,
+        ));
         metrics.honest_messages_per_round.push(honest_this_round);
         if O::ACTIVE {
-            self.emit_new_decisions(observer, 0, &mut decided);
+            sweep_decisions(&self.graph, &self.protocols, 0, &mut decided, observer);
         }
 
         for round in 1..=self.max_rounds {
@@ -206,57 +178,28 @@ where
                         round,
                         neighbors: self.graph.neighbors(v).clone(),
                     };
-                    for (to, payload) in proto.on_round(&ctx, delivered.inbox(v)) {
-                        if self.graph.has_edge(v, to) {
-                            metrics.honest_messages += 1;
-                            honest_this_round += 1;
-                            metrics.honest_bits += payload.encoded_bits() as u64;
-                            if O::ACTIVE {
-                                observer.on_event(&RunEvent::HonestSend {
-                                    round,
-                                    from: v.raw(),
-                                    to: to.raw(),
-                                    bits: payload.encoded_bits() as u64,
-                                    payload: format!("{payload:?}"),
-                                });
-                            }
-                            outgoing.push(Envelope::new(v, to, payload));
-                        }
-                    }
+                    let sends = proto.on_round(&ctx, delivered.inbox(v));
+                    outgoing.extend(Transport::new(&self.graph).admit_honest(
+                        round,
+                        v,
+                        sends,
+                        &mut metrics,
+                        &mut honest_this_round,
+                        observer,
+                    ));
                 }
             }
-            for env in self.adversary.on_round(round, &self.graph, &delivered) {
-                let forged = !self.adversary.corrupted().contains(env.from);
-                if !forged && self.graph.has_edge(env.from, env.to) {
-                    metrics.adversarial_messages += 1;
-                    if O::ACTIVE {
-                        observer.on_event(&RunEvent::AdversarialSend {
-                            round,
-                            from: env.from.raw(),
-                            to: env.to.raw(),
-                            payload: format!("{:?}", env.payload),
-                        });
-                    }
-                    outgoing.push(env);
-                } else {
-                    metrics.rejected_adversarial += 1;
-                    if O::ACTIVE {
-                        observer.on_event(&RunEvent::RejectedSend {
-                            round,
-                            from: env.from.raw(),
-                            to: env.to.raw(),
-                            reason: if forged {
-                                RejectReason::ForgedSender
-                            } else {
-                                RejectReason::NoSuchEdge
-                            },
-                        });
-                    }
-                }
-            }
+            let adversarial = self.adversary.on_round(round, &self.graph, &delivered);
+            outgoing.extend(Transport::new(&self.graph).admit_adversarial(
+                round,
+                self.adversary.corrupted(),
+                adversarial,
+                &mut metrics,
+                observer,
+            ));
             metrics.honest_messages_per_round.push(honest_this_round);
             if O::ACTIVE {
-                self.emit_new_decisions(observer, round, &mut decided);
+                sweep_decisions(&self.graph, &self.protocols, round, &mut decided, observer);
             }
             inflight = outgoing;
         }
@@ -272,32 +215,6 @@ where
             corrupted: self.adversary.corrupted().clone(),
             metrics,
             watched,
-        }
-    }
-
-    /// Emits a [`RunEvent::Decision`] for every honest node that decided
-    /// since the last sweep (only called when the observer is active).
-    fn emit_new_decisions<O: RunObserver>(
-        &self,
-        observer: &mut O,
-        round: u32,
-        decided: &mut [bool],
-    ) {
-        for v in self.graph.nodes() {
-            if decided[v.index()] {
-                continue;
-            }
-            if let Some(d) = self.protocols[v.index()]
-                .as_ref()
-                .and_then(Protocol::decision)
-            {
-                decided[v.index()] = true;
-                observer.on_event(&RunEvent::Decision {
-                    round,
-                    node: v.raw(),
-                    value: format!("{d:?}"),
-                });
-            }
         }
     }
 }

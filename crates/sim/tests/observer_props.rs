@@ -3,13 +3,48 @@
 
 use proptest::prelude::*;
 use rmt_graph::generators;
-use rmt_obs::{diff_node_views, diff_traces, parse_jsonl, to_jsonl, RunEvent, VecObserver};
+use rmt_obs::{
+    diff_node_views, diff_traces, parse_jsonl, to_jsonl, DropReason, RunEvent, VecObserver,
+};
 use rmt_sets::{NodeId, NodeSet};
 use rmt_sim::trace::debug_describe;
 use rmt_sim::{testing::Flood, CoupledRunner, Metrics, Runner, SilentAdversary, Transcript};
 
 fn arb_setup() -> impl Strategy<Value = (usize, f64, u64)> {
     (3usize..12, 0.2f64..0.8, any::<u64>())
+}
+
+/// An arbitrary network-fault event, covering every variant `rmt-net`'s
+/// scheduler can emit.
+fn arb_fault_event() -> impl Strategy<Value = RunEvent> {
+    (0u32..4, 0u32..60, 0u32..32, 0u32..32, 0u32..8).prop_map(|(kind, round, from, to, c)| {
+        match kind {
+            0 => RunEvent::FaultDrop {
+                round,
+                from,
+                to,
+                reason: match c % 3 {
+                    0 => DropReason::LinkDrop,
+                    1 => DropReason::Partitioned,
+                    _ => DropReason::SenderCrashed,
+                },
+            },
+            1 => RunEvent::FaultDelay {
+                round,
+                from,
+                to,
+                delay: c + 1,
+                deliver_round: round + 2 + c,
+            },
+            2 => RunEvent::FaultDuplicate {
+                round,
+                from,
+                to,
+                deliver_round: round + 1 + c,
+            },
+            _ => RunEvent::NodeCrashed { round, node: from },
+        }
+    })
 }
 
 proptest! {
@@ -133,6 +168,36 @@ proptest! {
         prop_assert_eq!(&decoded, &obs.events);
         let reencoded = to_jsonl(&parsed);
         prop_assert_eq!(reencoded, text);
+    }
+
+    /// The fault events emitted by `rmt-net`'s scheduler ride the same
+    /// codec: arbitrary fault-event streams — interleaved with an ordinary
+    /// run's events — survive the JSONL round trip losslessly, and the
+    /// encoding stays a fixpoint.
+    #[test]
+    fn fault_event_jsonl_round_trip(
+        faults in proptest::collection::vec(arb_fault_event(), 1..40),
+        (n, p, seed) in arb_setup(),
+    ) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let mut obs = VecObserver::default();
+        let _ = Runner::new(
+            g,
+            |v| Flood::new(v, (v.index() == 0).then_some(5)),
+            SilentAdversary::new(NodeSet::new()),
+        )
+        .run_observed(&mut obs);
+        let mut events = faults;
+        events.extend(obs.events);
+        let json: Vec<_> = events.iter().map(RunEvent::to_json).collect();
+        let text = to_jsonl(&json);
+        let parsed = parse_jsonl(&text).expect("own output parses");
+        let decoded: Vec<RunEvent> = parsed
+            .iter()
+            .map(|v| RunEvent::from_json(v).expect("own encoding decodes"))
+            .collect();
+        prop_assert_eq!(&decoded, &events);
+        prop_assert_eq!(to_jsonl(&parsed), text);
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rmt-trace record [DIR]             # coupled e₀/e₁ runs → DIR/trace_e0.jsonl, DIR/trace_e1.jsonl
+//! rmt-trace record-faults [DIR]      # faulty run on the diamond → DIR/trace_faulty.jsonl
 //! rmt-trace show FILE [--node N]     # render a trace (full, or one node's local view)
 //! rmt-trace diff A B [--node N]      # positional diff of two traces (optionally one node's view)
 //! ```
@@ -12,6 +13,13 @@
 //! `rmt-trace diff` on the two files reports plenty of global differences
 //! (the dealer sends 0 in e₀ and 1 in e₁), while `--node 3` — the receiver —
 //! reports none.
+//!
+//! `record-faults` runs RMT-PKA on the honest diamond through `rmt-net`'s
+//! deterministic fault scheduler (lossy, delaying, duplicating links) and
+//! streams the run — including the network's `FaultDrop`/`FaultDelay`/
+//! `FaultDuplicate` decisions — to one JSONL file. `show` renders fault
+//! events in the full trace; per-node views deliberately omit them (a node
+//! cannot observe what the network withheld).
 
 use std::process::ExitCode;
 
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => record(args.get(1).map(String::as_str).unwrap_or(".")),
+        Some("record-faults") => record_faults(args.get(1).map(String::as_str).unwrap_or(".")),
         Some("show") => match (args.get(1), parse_node_flag(&args)) {
             (Some(path), Ok(node)) => show(path, node),
             (_, Err(e)) => usage(&e),
@@ -47,6 +56,7 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!("usage: rmt-trace record [DIR]");
+    eprintln!("       rmt-trace record-faults [DIR]");
     eprintln!("       rmt-trace show FILE [--node N]");
     eprintln!("       rmt-trace diff A B [--node N]");
     ExitCode::FAILURE
@@ -129,6 +139,64 @@ fn record(dir: &str) -> ExitCode {
     );
     println!("try: rmt-trace diff trace_e0.jsonl trace_e1.jsonl            (runs differ)");
     println!("     rmt-trace diff trace_e0.jsonl trace_e1.jsonl --node 3  (R can't tell)");
+    ExitCode::SUCCESS
+}
+
+fn record_faults(dir: &str) -> ExitCode {
+    use rmt::core::protocols::rmt_pka::RmtPka;
+    use rmt::net::{FaultPlan, LinkPolicy, NetRunner};
+    use rmt::sim::SilentAdversary;
+
+    let inst = diamond();
+    let plan = FaultPlan::new(0xFA17).with_default_policy(LinkPolicy {
+        drop: 0.2,
+        delay: 0.4,
+        max_delay: 2,
+        duplicate: 0.15,
+        ..LinkPolicy::default()
+    });
+    println!("recording RMT-PKA on the honest diamond through a faulty network");
+    println!("(drop 20%, delay 40% ≤2 rounds, duplicate 15%; fault seed 0xFA17)");
+
+    let path = std::path::Path::new(dir).join("trace_faulty.jsonl");
+    let mut obs = match std::fs::File::create(&path) {
+        Ok(f) => JsonlObserver::new(std::io::BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = NetRunner::new(
+        inst.graph().clone(),
+        |v| RmtPka::node(&inst, v, 1),
+        SilentAdversary::new(NodeSet::new()),
+        plan,
+    )
+    .run_observed(&mut obs);
+    match obs.into_inner() {
+        Ok(mut w) => {
+            use std::io::Write as _;
+            if let Err(e) = w.flush() {
+                eprintln!("cannot flush {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "receiver decision: {:?} | rounds: {} | lost: {} | delayed: {} | duplicated: {}",
+        out.decision(inst.receiver()),
+        out.metrics.rounds,
+        out.faults.lost(),
+        out.faults.delayed,
+        out.faults.duplicated,
+    );
+    println!("try: rmt-trace show trace_faulty.jsonl           (fault decisions rendered)");
+    println!("     rmt-trace show trace_faulty.jsonl --node 3  (the node-local view hides them)");
     ExitCode::SUCCESS
 }
 
