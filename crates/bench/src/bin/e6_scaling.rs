@@ -8,7 +8,10 @@
 //! with the simple-path count of the family.
 
 use rmt_bench::{fmt_duration, timed, Experiment, Table};
-use rmt_core::cuts::{find_rmt_cut, find_rmt_cut_par, zcpa_fixpoint_observed};
+use rmt_core::cuts::{
+    find_rmt_cut, find_rmt_cut_anchored, find_rmt_cut_anchored_par, find_rmt_cut_par,
+    zcpa_fixpoint_observed,
+};
 use rmt_core::protocols::rmt_pka::RmtPka;
 use rmt_core::protocols::zcpa::run_zcpa;
 use rmt_core::sampling::threshold_instance;
@@ -140,7 +143,7 @@ fn main() {
     // (`--threads`/`RMT_THREADS`); on a single-core host both rows
     // coincide.
     let mut par = Table::new(
-        "E6c: find_rmt_cut, sequential vs parallel (ring+chords, full 2^(n−2) scan)",
+        "E6c: find_rmt_cut, exhaustive vs anchored (ring+chords, solvable instances)",
         &["n", "subsets", "mode", "threads", "result", "time"],
     );
     for &n in &[14usize, 18] {
@@ -150,6 +153,14 @@ fn main() {
         let (seq, t_seq) = timed(|| find_rmt_cut(&inst));
         let (parallel, t_par) = timed(|| find_rmt_cut_par(&inst, threads));
         assert_eq!(seq, parallel, "parallel decider diverged at n = {n}");
+        let (anchored, t_anc) = timed(|| find_rmt_cut_anchored(&inst));
+        let (anchored_par, t_anc_par) = timed(|| find_rmt_cut_anchored_par(&inst, threads));
+        assert_eq!(anchored, anchored_par, "anchored par diverged at n = {n}");
+        assert_eq!(
+            seq.is_some(),
+            anchored.is_some(),
+            "anchored verdict diverged at n = {n}"
+        );
         let result = if seq.is_some() { "cut" } else { "no cut" };
         par.row(&[
             n.to_string(),
@@ -166,6 +177,22 @@ fn main() {
             threads.to_string(),
             result.into(),
             fmt_duration(t_par),
+        ]);
+        par.row(&[
+            n.to_string(),
+            subsets.to_string(),
+            "anchored".into(),
+            "1".into(),
+            result.into(),
+            fmt_duration(t_anc),
+        ]);
+        par.row(&[
+            n.to_string(),
+            subsets.to_string(),
+            "anchored-par".into(),
+            threads.to_string(),
+            result.into(),
+            fmt_duration(t_anc_par),
         ]);
     }
     par.print();

@@ -107,32 +107,15 @@ pub fn zpp_cut_by_enumeration(inst: &Instance) -> bool {
     let mut candidates = g.nodes().clone();
     candidates.remove(d);
     for c in candidates.subsets() {
-        let without = g.without_nodes(&c);
-        let reach_d = rmt_graph::traversal::component_of(&without, d);
-        let b_all = without.nodes().difference(&reach_d);
-        if b_all.is_empty() {
-            continue; // not a cut with a non-empty far side
-        }
         // WLOG B is one far component or any union thereof; taking the whole
         // far side is hardest for the ∀u∈B condition, but any component
-        // works — so check per component.
-        for comp in rmt_graph::traversal::components(&without) {
+        // works — so check per component, sharing the partition logic (and
+        // the masked traversal) with the point-to-point decider.
+        for comp in rmt_graph::traversal::components_avoiding(g, &c) {
             if comp.contains(d) {
                 continue;
             }
-            let plausible = |c2: &NodeSet| {
-                comp.iter().all(|u| {
-                    let trace = g.neighbors(u).intersection(c2);
-                    inst.local_structure(u).contains(&trace)
-                })
-            };
-            let hit = inst
-                .adversary()
-                .maximal_sets()
-                .iter()
-                .any(|t| plausible(&c.difference(t)))
-                || (inst.adversary().maximal_sets().is_empty() && plausible(&c));
-            if hit {
+            if crate::cuts::zpp::zpp_admissible_partition(inst, &c, &comp, None).is_some() {
                 return true;
             }
         }

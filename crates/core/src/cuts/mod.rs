@@ -5,15 +5,26 @@
 //! * [`zpp`] — the **RMT 𝒵-pp cut** of Definition 7: the obstruction in the
 //!   ad hoc model (Theorems 7 and 8), decidable both by exhaustive cut
 //!   enumeration and by the polynomial Z-CPA fixpoint.
+//! * [`anchored`] — separator-anchored twins of the enumeration deciders:
+//!   verdict-identical, but driven by the minimal-separator anchors of
+//!   `rmt_graph::separators` instead of the `2^n` subset lattice, with a
+//!   budgeted exhaustive fallback keeping the verdict exact.
 //! * [`par`] — deterministic parallel twins of the deciders above: same
 //!   witnesses, same observed counters, on up to `threads` OS threads.
 
+pub mod anchored;
 pub mod par;
 pub mod rmt_cut;
 pub mod zpp;
 
+pub use anchored::{
+    find_rmt_cut_anchored, find_rmt_cut_anchored_observed, find_rmt_cut_anchored_observed_with,
+    find_rmt_cut_anchored_with, zpp_cut_by_enumeration_anchored,
+    zpp_cut_by_enumeration_anchored_observed, zpp_cut_by_enumeration_anchored_with, AnchorBudget,
+};
 pub use par::{
-    find_rmt_cut_par, find_rmt_cut_par_observed, zpp_cut_by_enumeration_par,
+    find_rmt_cut_anchored_par, find_rmt_cut_anchored_par_observed, find_rmt_cut_par,
+    find_rmt_cut_par_observed, zpp_cut_by_enumeration_anchored_par, zpp_cut_by_enumeration_par,
     zpp_cut_by_fixpoint_par, zpp_cut_by_fixpoint_par_observed,
 };
 pub use rmt_cut::{find_rmt_cut, find_rmt_cut_observed, is_rmt_cut, rmt_cut_exists, RmtCutWitness};

@@ -15,9 +15,11 @@
 //! its condition easier). This turns the partition search into a linear scan
 //! over the antichain of 𝒵.
 //!
-//! The search over cuts `C` is exhaustive over subsets of V∖{D,R} — the
-//! characterization is NP-hard in general, and the experiments use instances
-//! with `n ≲ 16` where this is exact and fast enough.
+//! The search over cuts `C` here is exhaustive over subsets of V∖{D,R} —
+//! the characterization is NP-hard in general, and this decider is the
+//! differential ground truth. The separator-anchored decider in
+//! [`anchored`](super::anchored) skips the non-cut bulk of that lattice and
+//! is the one to use beyond `n ≈ 16`.
 
 use rmt_graph::traversal;
 use rmt_obs::{Counter, Registry};
@@ -56,37 +58,47 @@ pub(crate) fn is_rmt_cut_counted(
     if c.contains(d) || c.contains(r) {
         return None;
     }
-    let without = inst.graph().without_nodes(c);
-    let b = traversal::component_of(&without, r);
+    // Masked BFS: no per-candidate graph clone.
+    let b = traversal::component_of_avoiding(inst.graph(), r, c);
     if b.contains(d) {
         return None; // not a cut
     }
-    let gamma_b = cache.joint_domain(&b);
+    admissible_partition(inst, cache, c, &b, partition_checks).map(|(c1, c2)| RmtCutWitness {
+        cut: c.clone(),
+        c1,
+        c2,
+        receiver_component: b,
+    })
+}
+
+/// The Definition-3 partition search for a fixed receiver component `b`:
+/// the first maximal `T ∈ 𝒵` with `C₁ = C ∩ T`, `C₂ = C ∖ T` and
+/// `C₂ ∩ V(γ(B)) ∈ 𝒵_B`. Shared by the exhaustive decider (which derives
+/// `b` from the candidate cut) and the anchored decider (which enumerates
+/// `b` directly), so the condition cannot drift between them.
+pub(crate) fn admissible_partition(
+    inst: &Instance,
+    cache: &KnowledgeCache,
+    c: &NodeSet,
+    b: &NodeSet,
+    partition_checks: Option<&Counter>,
+) -> Option<(NodeSet, NodeSet)> {
+    let gamma_b = cache.joint_domain(b);
     for t in inst.adversary().maximal_sets() {
         let c2 = c.difference(t);
         if let Some(counter) = partition_checks {
             counter.inc();
         }
-        if cache.joint_contains(&b, &c2.intersection(&gamma_b)) {
-            return Some(RmtCutWitness {
-                cut: c.clone(),
-                c1: c.intersection(t),
-                c2,
-                receiver_component: b,
-            });
+        if cache.joint_contains(b, &c2.intersection(&gamma_b)) {
+            return Some((c.intersection(t), c2));
         }
     }
     // The trivial structure admits C₁ = ∅ only; handled above iff the
     // antichain is non-empty. Cover the trivial case explicitly.
     if inst.adversary().maximal_sets().is_empty()
-        && cache.joint_contains(&b, &c.intersection(&gamma_b))
+        && cache.joint_contains(b, &c.intersection(&gamma_b))
     {
-        return Some(RmtCutWitness {
-            cut: c.clone(),
-            c1: NodeSet::new(),
-            c2: c.clone(),
-            receiver_component: b,
-        });
+        return Some((NodeSet::new(), c.clone()));
     }
     None
 }

@@ -40,11 +40,30 @@ pub fn is_zpp_cut(inst: &Instance, c: &NodeSet) -> Option<ZppCutWitness> {
     if c.contains(d) || c.contains(r) {
         return None;
     }
-    let without = inst.graph().without_nodes(c);
-    let b = traversal::component_of(&without, r);
+    // Masked BFS: no per-candidate graph clone.
+    let b = traversal::component_of_avoiding(inst.graph(), r, c);
     if b.contains(d) {
         return None;
     }
+    zpp_admissible_partition(inst, c, &b, None).map(|(c1, c2)| ZppCutWitness {
+        cut: c.clone(),
+        c1,
+        c2,
+    })
+}
+
+/// The Definition-7 partition search for a fixed far-side node set `b`: the
+/// first maximal `T ∈ 𝒵` with `C₁ = C ∩ T`, `C₂ = C ∖ T` and
+/// `𝒩(u) ∩ C₂ ∈ 𝒵_u` for every `u ∈ b`. Shared by [`is_zpp_cut`], the
+/// anchored decider (which enumerates `b` directly) and the broadcast
+/// decider (where `b` ranges over all far components), so the condition
+/// cannot drift between them.
+pub(crate) fn zpp_admissible_partition(
+    inst: &Instance,
+    c: &NodeSet,
+    b: &NodeSet,
+    plausibility_checks: Option<&Counter>,
+) -> Option<(NodeSet, NodeSet)> {
     let locally_plausible = |c2: &NodeSet| {
         b.iter().all(|u| {
             let trace = inst.graph().neighbors(u).intersection(c2);
@@ -52,21 +71,21 @@ pub fn is_zpp_cut(inst: &Instance, c: &NodeSet) -> Option<ZppCutWitness> {
         })
     };
     for t in inst.adversary().maximal_sets() {
+        if let Some(counter) = plausibility_checks {
+            counter.inc();
+        }
         let c2 = c.difference(t);
         if locally_plausible(&c2) {
-            return Some(ZppCutWitness {
-                cut: c.clone(),
-                c1: c.intersection(t),
-                c2,
-            });
+            return Some((c.intersection(t), c2));
         }
     }
-    if inst.adversary().maximal_sets().is_empty() && locally_plausible(c) {
-        return Some(ZppCutWitness {
-            cut: c.clone(),
-            c1: NodeSet::new(),
-            c2: c.clone(),
-        });
+    if inst.adversary().maximal_sets().is_empty() {
+        if let Some(counter) = plausibility_checks {
+            counter.inc();
+        }
+        if locally_plausible(c) {
+            return Some((NodeSet::new(), c.clone()));
+        }
     }
     None
 }

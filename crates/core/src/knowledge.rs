@@ -4,6 +4,20 @@
 //! sets `B`. [`KnowledgeCache`] precomputes every player's restricted
 //! structure once and answers joint-membership queries with the cylinder
 //! characterization (see `rmt-adversary`), avoiding any antichain blow-up.
+//!
+//! Since many candidate cuts induce the *same* receiver component `B`, the
+//! cache additionally memoizes the joint domain `V(γ(B))` keyed on `B`'s
+//! bitset: [`KnowledgeCache::joint_domain`] (and through it
+//! [`KnowledgeCache::joint_contains`]) consults the memo first. The memo is
+//! semantics-neutral shared state behind an `RwLock` — concurrent readers
+//! never block each other after warm-up — and its effectiveness is reported
+//! through [`KnowledgeCache::memo_hits`] / [`KnowledgeCache::memo_misses`],
+//! which the sequential `_observed` deciders surface as
+//! `rmt_cut.cache_hits` / `rmt_cut.cache_misses` counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use rmt_adversary::{JointView, RestrictedStructure};
 use rmt_graph::Graph;
@@ -12,10 +26,38 @@ use rmt_sets::{NodeId, NodeSet};
 use crate::instance::Instance;
 
 /// Precomputed per-node knowledge for fast joint queries.
-#[derive(Clone, Debug)]
 pub struct KnowledgeCache {
     /// v ↦ 𝒵^{V(γ(v))}, indexed by node id.
     parts: Vec<Option<RestrictedStructure>>,
+    /// B ↦ V(γ(B)) memo shared by all queries on this cache.
+    domains: RwLock<HashMap<NodeSet, NodeSet>>,
+    /// Memo lookups answered from the map.
+    hits: AtomicU64,
+    /// Memo lookups that had to compute (and then inserted).
+    misses: AtomicU64,
+}
+
+impl Clone for KnowledgeCache {
+    fn clone(&self) -> Self {
+        KnowledgeCache {
+            parts: self.parts.clone(),
+            domains: RwLock::new(self.domains.read().expect("domain memo lock").clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for KnowledgeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeCache")
+            .field("parts", &self.parts)
+            .field(
+                "memoized_domains",
+                &self.domains.read().expect("domain memo lock").len(),
+            )
+            .finish()
+    }
 }
 
 impl KnowledgeCache {
@@ -27,7 +69,12 @@ impl KnowledgeCache {
             let domain = inst.view_domain(v);
             parts[v.index()] = Some(RestrictedStructure::restrict(inst.adversary(), domain));
         }
-        KnowledgeCache { parts }
+        KnowledgeCache {
+            parts,
+            domains: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The restricted structure 𝒵^{V(γ(v))} of one player.
@@ -42,13 +89,32 @@ impl KnowledgeCache {
             .unwrap_or_else(|| panic!("no knowledge cached for {v}"))
     }
 
-    /// The domain V(γ(B)) = ∪_{v∈B} V(γ(v)).
+    /// The domain V(γ(B)) = ∪_{v∈B} V(γ(v)), memoized on `B`'s bitset.
     pub fn joint_domain(&self, b: &NodeSet) -> NodeSet {
+        if let Some(domain) = self.domains.read().expect("domain memo lock").get(b) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return domain.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut out = NodeSet::new();
         for v in b {
             out.union_with(self.part(v).domain());
         }
+        self.domains
+            .write()
+            .expect("domain memo lock")
+            .insert(b.clone(), out.clone());
         out
+    }
+
+    /// Memo lookups served from the component-keyed domain memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo lookups that computed the domain fresh.
+    pub fn memo_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Membership in 𝒵_B = ⊕_{v∈B} 𝒵^{V(γ(v))}, via the cylinder test:
@@ -134,5 +200,27 @@ mod tests {
         let cache = KnowledgeCache::new(&inst);
         assert!(cache.joint_contains(&NodeSet::new(), &NodeSet::new()));
         assert!(!cache.joint_contains(&NodeSet::new(), &set(&[1])));
+    }
+
+    #[test]
+    fn domain_memo_hits_on_repeats_and_stays_correct() {
+        let inst = instance();
+        let cache = KnowledgeCache::new(&inst);
+        let fresh = KnowledgeCache::new(&inst);
+        for b in [set(&[1, 2]), set(&[2, 4]), set(&[1, 2]), set(&[1, 2])] {
+            // Memoized answers equal a never-memoizing baseline's.
+            let mut expected = NodeSet::new();
+            for v in &b {
+                expected.union_with(fresh.part(v).domain());
+            }
+            assert_eq!(cache.joint_domain(&b), expected);
+        }
+        assert_eq!(cache.memo_misses(), 2);
+        assert_eq!(cache.memo_hits(), 2);
+        // Cloning keeps the memo content but resets the statistics.
+        let cloned = cache.clone();
+        assert_eq!(cloned.memo_hits(), 0);
+        assert_eq!(cloned.joint_domain(&set(&[1, 2])), set(&[0, 1, 2, 3]));
+        assert_eq!(cloned.memo_hits(), 1);
     }
 }

@@ -34,6 +34,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use rmt_adversary::AdversaryStructure;
+use rmt_graph::separators::{self, AnchorScan};
 use rmt_graph::{paths, traversal, Graph};
 use rmt_sets::{NodeId, NodeSet};
 
@@ -272,7 +273,15 @@ impl ReceiverState {
         None
     }
 
-    /// Exhaustive search for an adversary cover of M (Definition 6).
+    /// Search for an adversary cover of M (Definition 6).
+    ///
+    /// Tries the separator-anchored scan first (see `rmt_core::cuts::anchored`
+    /// for the charging argument): a cover exists iff some connected
+    /// `B ∋ R` of `G_M` with `D ∉ N[B]` makes `C = N(B)` a cover, since the
+    /// claimed structures are subset-closed so the cover condition is
+    /// monotone in `C` for fixed `B`. Only if the anchored scan overruns its
+    /// budget does the original `2^|candidates|` subset scan run — which is
+    /// itself gated on `max_cover_candidates` (abstaining conservatively).
     fn has_adversary_cover(
         &self,
         g_m: &Graph,
@@ -289,6 +298,9 @@ impl ReceiverState {
             *truncated = true;
             return true;
         }
+        if g_m.has_edge(self.dealer, self.me) {
+            return false; // no D–R cut of G_M at all
+        }
         // Claimed knowledge per node, for the joint-structure membership.
         let knowledge: BTreeMap<NodeId, (&Graph, &AdversaryStructure)> = selection
             .iter()
@@ -299,31 +311,89 @@ impl ReceiverState {
             )))
             .collect();
 
+        if let Some(covered) = self.anchored_cover(g_m, &knowledge) {
+            return covered;
+        }
+
         'cuts: for c in candidates.subsets() {
             let b = traversal::reachable_avoiding(g_m, self.me, &c);
             if b.contains(self.dealer) {
                 continue; // not a cut of G_M
             }
-            // γ(B) from the claimed views of B.
-            let mut gamma_b = NodeSet::new();
-            for u in &b {
-                if let Some((view, _)) = knowledge.get(&u) {
-                    gamma_b.union_with(view.nodes());
-                }
-            }
-            let trace = c.intersection(&gamma_b);
-            // 𝒵_B membership via the cylinder test over claimed structures.
-            for u in &b {
-                if let Some((view, structure)) = knowledge.get(&u) {
-                    if !structure.contains(&trace.intersection(view.nodes())) {
-                        continue 'cuts;
-                    }
-                }
+            let trace = c.intersection(&claimed_domain(&b, &knowledge));
+            if self.trace_inadmissible(&b, &trace, &knowledge) {
+                continue 'cuts;
             }
             return true;
         }
         false
     }
+
+    /// The anchored cover scan; `None` means a budget overflowed and the
+    /// caller must fall back to the exhaustive subset scan.
+    fn anchored_cover(
+        &self,
+        g_m: &Graph,
+        knowledge: &BTreeMap<NodeId, (&Graph, &AdversaryStructure)>,
+    ) -> Option<bool> {
+        const MAX_SEPARATORS: usize = 2048;
+        const MAX_COMPONENTS_PER_ANCHOR: u64 = 1 << 18;
+        let anchors = separators::cut_anchors(g_m, self.dealer, self.me, MAX_SEPARATORS).ok()?;
+        for anchor in &anchors {
+            let mut covered = false;
+            let stats = separators::scan_anchor(
+                g_m,
+                anchor,
+                self.me,
+                MAX_COMPONENTS_PER_ANCHOR,
+                |b, cut| {
+                    let trace = cut.intersection(&claimed_domain(b, knowledge));
+                    if !self.trace_inadmissible(b, &trace, knowledge) {
+                        covered = true;
+                        return false;
+                    }
+                    true
+                },
+            );
+            if covered {
+                return Some(true);
+            }
+            if stats.outcome == AnchorScan::BudgetExceeded {
+                return None;
+            }
+        }
+        Some(false)
+    }
+
+    /// `true` iff some node of `B` refutes the trace — the cut is then *not*
+    /// a cover; `false` means the trace is jointly admissible (cover found).
+    fn trace_inadmissible(
+        &self,
+        b: &NodeSet,
+        trace: &NodeSet,
+        knowledge: &BTreeMap<NodeId, (&Graph, &AdversaryStructure)>,
+    ) -> bool {
+        // 𝒵_B membership via the cylinder test over claimed structures.
+        b.iter().any(|u| {
+            knowledge.get(&u).is_some_and(|(view, structure)| {
+                !structure.contains(&trace.intersection(view.nodes()))
+            })
+        })
+    }
+}
+
+/// γ(B) from the claimed views of B.
+fn claimed_domain(
+    b: &NodeSet,
+    knowledge: &BTreeMap<NodeId, (&Graph, &AdversaryStructure)>,
+) -> NodeSet {
+    let mut gamma_b = NodeSet::new();
+    for u in b {
+        if let Some((view, _)) = knowledge.get(&u) {
+            gamma_b.union_with(view.nodes());
+        }
+    }
+    gamma_b
 }
 
 #[cfg(test)]

@@ -98,13 +98,14 @@ mod tests {
     use crate::traversal;
 
     /// Brute-force articulation check: removal increases component count.
+    /// Uses the masked traversal — no per-vertex graph clone.
     fn brute_points(g: &Graph) -> NodeSet {
         let base = traversal::components(g).len();
         g.nodes()
             .iter()
             .filter(|&v| {
-                let without = g.without_nodes(&NodeSet::singleton(v));
-                traversal::components(&without).len() > base
+                let mask = NodeSet::singleton(v);
+                traversal::components_avoiding(g, &mask).len() > base
             })
             .collect()
     }

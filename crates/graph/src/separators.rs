@@ -34,15 +34,7 @@ impl std::fmt::Display for SeparatorBudgetExceeded {
 
 impl std::error::Error for SeparatorBudgetExceeded {}
 
-/// The neighbourhood of a node set: `N(C) = (∪_{v∈C} N(v)) ∖ C`.
-fn neighborhood(g: &Graph, c: &NodeSet) -> NodeSet {
-    let mut out = NodeSet::new();
-    for v in c {
-        out.union_with(g.neighbors(v));
-    }
-    out.difference_with(c);
-    out
-}
+use crate::traversal::neighborhood;
 
 /// Double minimalization: given an a–b separator `s`, returns the minimal
 /// a–b separator obtained by clamping to the b-side component's
@@ -124,6 +116,114 @@ pub fn minimal_separators(
     Ok(out)
 }
 
+/// One separator **anchor** for the cut-search deciders: a minimal a–b
+/// separator together with the b-side component it leaves.
+///
+/// The anchored searches enumerate candidate receiver-side components `B`
+/// (connected, `b ∈ B`, `a ∉ N[B]`) instead of candidate cuts. Every such
+/// `B` is *charged to exactly one anchor*: the minimal separator
+/// `S*(B) = N(comp_a(G ∖ N(B)))` — the a-side minimalization of `N(B)`. It
+/// satisfies `S*(B) ⊆ N(B)` and `B ⊆ region(S*(B))`, so scanning each
+/// anchor's region for connected supersets of `{b}` whose neighbourhood
+/// contains the separator visits every candidate component exactly once
+/// across all anchors ([`scan_anchor`]); the partition is property-tested
+/// below.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutAnchor {
+    /// The minimal a–b separator S.
+    pub separator: NodeSet,
+    /// The b-side component of `G ∖ S` (so `N(region) = S`).
+    pub region: NodeSet,
+}
+
+/// Enumerates all [`CutAnchor`]s for the a–b cut search: one per minimal
+/// a–b separator, in [`minimal_separators`] generation order.
+///
+/// # Errors
+///
+/// Returns [`SeparatorBudgetExceeded`] if more than `budget` minimal
+/// separators exist.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` are equal or adjacent (no separator exists).
+pub fn cut_anchors(
+    g: &Graph,
+    a: NodeId,
+    b: NodeId,
+    budget: usize,
+) -> Result<Vec<CutAnchor>, SeparatorBudgetExceeded> {
+    Ok(minimal_separators(g, a, b, budget)?
+        .into_iter()
+        .map(|s| CutAnchor {
+            region: traversal::component_of_avoiding(g, b, &s),
+            separator: s,
+        })
+        .collect())
+}
+
+/// How one [`scan_anchor`] run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnchorScan {
+    /// Every component charged to the anchor was visited.
+    Exhausted,
+    /// The visitor returned `false` (e.g. a witness was found).
+    Stopped,
+    /// The emission budget ran out before the scan finished.
+    BudgetExceeded,
+}
+
+/// The result of one [`scan_anchor`] run: the outcome plus the number of
+/// connected subsets the underlying enumeration emitted (visited components
+/// are the subset of emissions whose neighbourhood contains the separator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnchorScanStats {
+    /// How the scan ended.
+    pub outcome: AnchorScan,
+    /// Connected subsets of the region emitted by the enumeration.
+    pub emitted: u64,
+}
+
+/// Visits every candidate component `B` charged to `anchor`: the connected
+/// subsets of `anchor.region` containing `root` whose open neighbourhood
+/// `C = N(B)` contains `anchor.separator`. The visitor receives `(B, C)`
+/// — `C` is exactly the minimal cut with b-side component `B` — and returns
+/// `false` to stop the scan (witness found).
+///
+/// Across the full anchor list of [`cut_anchors`] each candidate component
+/// is visited exactly once, which is what makes per-anchor scans an exact,
+/// duplicate-free partition of the cut-search space (and an embarrassingly
+/// parallel one). At most `max_emissions` connected subsets are enumerated;
+/// beyond that the scan aborts with [`AnchorScan::BudgetExceeded`] and the
+/// caller is expected to fall back to an exhaustive search.
+pub fn scan_anchor<F>(
+    g: &Graph,
+    anchor: &CutAnchor,
+    root: NodeId,
+    max_emissions: u64,
+    mut f: F,
+) -> AnchorScanStats
+where
+    F: FnMut(&NodeSet, &NodeSet) -> bool,
+{
+    let mut emitted = 0u64;
+    let mut outcome = AnchorScan::Exhausted;
+    traversal::for_each_connected_subset(g, root, &anchor.region, |b| {
+        if emitted >= max_emissions {
+            outcome = AnchorScan::BudgetExceeded;
+            return false;
+        }
+        emitted += 1;
+        let cut = neighborhood(g, b);
+        if anchor.separator.is_subset(&cut) && !f(b, &cut) {
+            outcome = AnchorScan::Stopped;
+            return false;
+        }
+        true
+    });
+    AnchorScanStats { outcome, emitted }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +288,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Brute-force reference for the anchored scan: every candidate b-side
+    /// component — connected, containing `b`, with `a` outside its closed
+    /// neighbourhood.
+    fn brute_candidate_components(g: &Graph, a: NodeId, b: NodeId) -> Vec<NodeSet> {
+        let mut candidates = g.nodes().clone();
+        candidates.remove(a);
+        candidates
+            .subsets()
+            .filter(|s| {
+                s.contains(b)
+                    && traversal::component_of_avoiding(g, b, &g.nodes().difference(s)) == *s
+                    && !neighborhood(g, s).contains(a)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn anchors_partition_the_candidate_components() {
+        let mut rng = generators::seeded(90210);
+        let mut nontrivial = 0;
+        for trial in 0..50 {
+            let n = 5 + trial % 5;
+            let g = generators::gnp(n, 0.3, &mut rng);
+            let (a, b) = (NodeId::new(0), NodeId::new(n as u32 - 1));
+            if !g.contains_node(a) || !g.contains_node(b) || g.has_edge(a, b) {
+                continue;
+            }
+            let anchors = cut_anchors(&g, a, b, 10_000).unwrap();
+            let mut visited = Vec::new();
+            for anchor in &anchors {
+                let stats = scan_anchor(&g, anchor, b, u64::MAX, |comp, cut| {
+                    // The handed-out cut is the component's neighbourhood.
+                    assert_eq!(*cut, neighborhood(&g, comp));
+                    visited.push(comp.clone());
+                    true
+                });
+                assert_eq!(stats.outcome, AnchorScan::Exhausted);
+            }
+            visited.sort();
+            let before_dedup = visited.len();
+            visited.dedup();
+            assert_eq!(before_dedup, visited.len(), "trial {trial}: duplicates");
+            let mut expected = brute_candidate_components(&g, a, b);
+            expected.sort();
+            assert_eq!(visited, expected, "trial {trial}: {g:?}");
+            if expected.len() >= 2 && anchors.len() >= 2 {
+                nontrivial += 1;
+            }
+        }
+        assert!(nontrivial >= 5, "nontrivial cases exercised: {nontrivial}");
+    }
+
+    #[test]
+    fn scan_anchor_budget_and_early_stop() {
+        let g = generators::cycle(8);
+        let anchors = cut_anchors(&g, 0.into(), 4.into(), 100).unwrap();
+        let anchor = &anchors[0];
+        let stats = scan_anchor(&g, anchor, 4.into(), 1, |_, _| true);
+        assert_eq!(stats.outcome, AnchorScan::BudgetExceeded);
+        assert_eq!(stats.emitted, 1);
+        let stats = scan_anchor(&g, anchor, 4.into(), u64::MAX, |_, _| false);
+        assert_eq!(stats.outcome, AnchorScan::Stopped);
+    }
+
+    #[test]
+    fn disconnected_endpoints_have_the_empty_anchor() {
+        let mut g = generators::path_graph(2);
+        g.add_node(5.into());
+        let anchors = cut_anchors(&g, 0.into(), 5.into(), 10).unwrap();
+        assert_eq!(anchors.len(), 1);
+        assert!(anchors[0].separator.is_empty());
+        assert_eq!(anchors[0].region, NodeSet::singleton(5.into()));
     }
 
     #[test]

@@ -40,6 +40,106 @@ pub fn component_of(g: &Graph, v: NodeId) -> NodeSet {
     reachable(g, v)
 }
 
+/// The connected component of `v` in `G ∖ mask`, computed by masked BFS on
+/// `g` itself — equivalent to `component_of(&g.without_nodes(mask), v)` but
+/// without cloning the graph, which matters in the cut deciders where this
+/// runs once per candidate cut.
+///
+/// Returns the empty set if `v` is masked or absent.
+pub fn component_of_avoiding(g: &Graph, v: NodeId, mask: &NodeSet) -> NodeSet {
+    reachable_avoiding(g, v, mask)
+}
+
+/// All connected components of `G ∖ mask`, ordered by their smallest node —
+/// the masked, allocation-free equivalent of
+/// `components(&g.without_nodes(mask))`.
+pub fn components_avoiding(g: &Graph, mask: &NodeSet) -> Vec<NodeSet> {
+    let mut remaining = g.nodes().difference(mask);
+    let mut out = Vec::new();
+    while let Some(v) = remaining.first() {
+        let comp = component_of_avoiding(g, v, mask);
+        remaining.difference_with(&comp);
+        out.push(comp);
+    }
+    out
+}
+
+/// The open neighbourhood of a node set: `N(S) = (∪_{v∈S} N(v)) ∖ S`.
+pub fn neighborhood(g: &Graph, s: &NodeSet) -> NodeSet {
+    let mut out = NodeSet::new();
+    for v in s {
+        out.union_with(g.neighbors(v));
+    }
+    out.difference_with(s);
+    out
+}
+
+/// Visits every **connected** subset of `allowed` (connectivity taken in the
+/// subgraph induced on `allowed`) that contains `root`, each exactly once.
+///
+/// The enumeration is the classic include/exclude frontier recursion with
+/// polynomial delay: from the current set `S`, each extension vertex `v`
+/// (a neighbour of `S` inside `allowed` and not yet excluded) spawns one
+/// branch on `S ∪ {v}` and is excluded from the following branches, so no
+/// subset is ever produced twice. The order is deterministic: `{root}`
+/// first, then depth-first by ascending extension vertex.
+///
+/// `f` returns `false` to stop the enumeration early; the function returns
+/// `true` iff the enumeration ran to completion. If `root ∉ allowed`,
+/// nothing is visited.
+pub fn for_each_connected_subset<F>(g: &Graph, root: NodeId, allowed: &NodeSet, mut f: F) -> bool
+where
+    F: FnMut(&NodeSet) -> bool,
+{
+    if !allowed.contains(root) || !g.contains_node(root) {
+        return true;
+    }
+    let mut current = NodeSet::singleton(root);
+    if !f(&current) {
+        return false;
+    }
+    // One explicit recursion frame per inclusion: the vertex chosen, the
+    // exclusion set to restore, and the remaining extension choices.
+    let mut ext0 = g.neighbors(root).intersection(allowed);
+    ext0.remove(root);
+    recurse(g, allowed, &mut current, ext0, &NodeSet::new(), &mut f)
+}
+
+/// One level of the include/exclude recursion: tries each extension vertex
+/// in ascending order, recursing with it included and excluding it
+/// afterwards. Returns `false` if `f` stopped the enumeration.
+fn recurse<F>(
+    g: &Graph,
+    allowed: &NodeSet,
+    current: &mut NodeSet,
+    extensions: NodeSet,
+    excluded: &NodeSet,
+    f: &mut F,
+) -> bool
+where
+    F: FnMut(&NodeSet) -> bool,
+{
+    let mut excluded = excluded.clone();
+    for v in &extensions {
+        current.insert(v);
+        if !f(current) {
+            return false;
+        }
+        // New frontier: v's neighbours inside `allowed`, minus what is
+        // already in the set or excluded on this path.
+        let mut next = extensions.union(&g.neighbors(v).intersection(allowed));
+        next.difference_with(current);
+        next.difference_with(&excluded);
+        next.remove(v);
+        if !recurse(g, allowed, current, next, &excluded, f) {
+            return false;
+        }
+        current.remove(v);
+        excluded.insert(v);
+    }
+    true
+}
+
 /// All connected components, ordered by their smallest node.
 pub fn components(g: &Graph) -> Vec<NodeSet> {
     let mut remaining = g.nodes().clone();
@@ -171,6 +271,97 @@ mod tests {
         let d = distances(&g, 0.into());
         assert_eq!(d[1], Some(1));
         assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn masked_traversal_matches_graph_surgery() {
+        let mut rng = generators::seeded(4242);
+        for trial in 0..40 {
+            let n = 4 + trial % 7;
+            let g = generators::gnp(n, 0.3, &mut rng);
+            let mask: NodeSet = g.nodes().iter().filter(|v| v.raw() % 3 == 1).collect();
+            let without = g.without_nodes(&mask);
+            assert_eq!(components_avoiding(&g, &mask), components(&without));
+            for v in g.nodes().difference(&mask).iter() {
+                assert_eq!(
+                    component_of_avoiding(&g, v, &mask),
+                    component_of(&without, v),
+                    "trial {trial}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_component_of_masked_node_is_empty() {
+        let g = generators::path_graph(4);
+        assert!(component_of_avoiding(&g, 1.into(), &set(&[1])).is_empty());
+        assert!(component_of_avoiding(&g, 9.into(), &NodeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn neighborhood_is_open() {
+        let g = generators::cycle(6);
+        assert_eq!(neighborhood(&g, &set(&[0, 1])), set(&[2, 5]));
+        assert_eq!(neighborhood(&g, &NodeSet::new()), NodeSet::new());
+        assert_eq!(neighborhood(&g, g.nodes()), NodeSet::new());
+    }
+
+    /// Brute-force reference: all subsets of `allowed` containing `root`
+    /// that induce a connected subgraph.
+    fn brute_connected_subsets(g: &Graph, root: NodeId, allowed: &NodeSet) -> Vec<NodeSet> {
+        allowed
+            .subsets()
+            .filter(|s| {
+                s.contains(root) && reachable_avoiding(g, root, &g.nodes().difference(s)) == *s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn connected_subset_enumeration_is_exact_and_duplicate_free() {
+        let mut rng = generators::seeded(515);
+        for trial in 0..40 {
+            let n = 4 + trial % 6;
+            let g = generators::gnp(n, 0.35, &mut rng);
+            let allowed: NodeSet = g.nodes().iter().filter(|v| v.raw() % 4 != 2).collect();
+            let root = match allowed.first() {
+                Some(v) => v,
+                None => continue,
+            };
+            let mut seen = Vec::new();
+            let completed = for_each_connected_subset(&g, root, &allowed, |s| {
+                seen.push(s.clone());
+                true
+            });
+            assert!(completed);
+            let mut expected = brute_connected_subsets(&g, root, &allowed);
+            let mut got = seen.clone();
+            got.sort();
+            expected.sort();
+            assert_eq!(got, expected, "trial {trial}: {g:?}");
+            got.dedup();
+            assert_eq!(got.len(), seen.len(), "trial {trial}: duplicates");
+        }
+    }
+
+    #[test]
+    fn connected_subset_enumeration_stops_early_and_handles_absent_root() {
+        let g = generators::cycle(8);
+        let mut count = 0;
+        let completed = for_each_connected_subset(&g, 0.into(), g.nodes(), |_| {
+            count += 1;
+            count < 5
+        });
+        assert!(!completed);
+        assert_eq!(count, 5);
+        // Root outside `allowed`: vacuously complete, nothing visited.
+        assert!(for_each_connected_subset(
+            &g,
+            0.into(),
+            &set(&[1, 2]),
+            |_| { panic!("must not visit") }
+        ));
     }
 
     #[test]

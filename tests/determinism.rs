@@ -9,7 +9,9 @@
 use rmt_par::configured_threads;
 
 use rmt_core::cuts::{
-    find_rmt_cut_par_observed, zpp_cut_by_enumeration_par, zpp_cut_by_fixpoint_par_observed,
+    find_rmt_cut_anchored_par_observed, find_rmt_cut_par_observed,
+    zpp_cut_by_enumeration_anchored_par, zpp_cut_by_enumeration_par,
+    zpp_cut_by_fixpoint_par_observed,
 };
 use rmt_core::protocols::zcpa::run_zcpa;
 use rmt_core::sampling::{random_instance_nonadjacent, threshold_instance};
@@ -49,6 +51,14 @@ fn run_workload(threads: usize) -> RunRecord {
             zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads)
         ));
         witnesses.push(format!("{:?}", zpp_cut_by_enumeration_par(&inst, threads)));
+        witnesses.push(format!(
+            "{:?}",
+            find_rmt_cut_anchored_par_observed(&inst, &reg, threads)
+        ));
+        witnesses.push(format!(
+            "{:?}",
+            zpp_cut_by_enumeration_anchored_par(&inst, threads)
+        ));
         let out = run_zcpa(&inst, 7, SilentAdversary::new(NodeSet::new()));
         assert_eq!(out.decision(inst.receiver()), Some(7));
         metrics.push(out.metrics);
@@ -61,6 +71,10 @@ fn run_workload(threads: usize) -> RunRecord {
         witnesses.push(format!(
             "{:?}",
             find_rmt_cut_par_observed(&inst, &reg, threads)
+        ));
+        witnesses.push(format!(
+            "{:?}",
+            find_rmt_cut_anchored_par_observed(&inst, &reg, threads)
         ));
         witnesses.push(format!(
             "{:?}",
