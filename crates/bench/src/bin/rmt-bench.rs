@@ -1,0 +1,134 @@
+//! The bench-artifact toolbox.
+//!
+//! ```text
+//! rmt-bench compare BASELINE.json CANDIDATE.json [options]
+//!     --max-time-ratio X   timing gate factor            (default 2.0)
+//!     --min-time-ms N      timing noise floor in ms      (default 10)
+//!     --counter-tolerance X  allowed relative counter drift (default 0)
+//!     --ignore-timing      skip all duration comparisons (cross-machine)
+//!     --strict             soft findings also fail the gate
+//! rmt-bench show ARTIFACT.json
+//! ```
+//!
+//! `compare` is the CI perf gate: it exits non-zero when a baseline
+//! `BENCH_E<k>.json` and a freshly recorded candidate disagree on any
+//! verdict column, or when a structured timing regresses beyond the
+//! configured ratio. See `rmt_bench::compare` for the exact semantics.
+
+use std::process::ExitCode;
+
+use rmt_bench::compare::{compare_artifacts, CompareConfig};
+use rmt_obs::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        _ => {
+            eprintln!("usage: rmt-bench compare BASELINE CANDIDATE [options]");
+            eprintln!("       rmt-bench show ARTIFACT");
+            eprintln!("see the module docs for options");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut cfg = CompareConfig::default();
+    let mut strict = false;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |what: &str| -> Option<f64> {
+            let v = it.next().and_then(|v| v.parse().ok());
+            if v.is_none() {
+                eprintln!("{what} needs a numeric argument");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--max-time-ratio" => match numeric("--max-time-ratio") {
+                Some(x) => cfg.max_time_ratio = x,
+                None => return ExitCode::from(2),
+            },
+            "--min-time-ms" => match numeric("--min-time-ms") {
+                Some(x) => cfg.min_time_ns = (x * 1e6) as i64,
+                None => return ExitCode::from(2),
+            },
+            "--counter-tolerance" => match numeric("--counter-tolerance") {
+                Some(x) => cfg.counter_tolerance = x,
+                None => return ExitCode::from(2),
+            },
+            "--ignore-timing" => cfg.check_timing = false,
+            "--strict" => strict = true,
+            p => paths.push(p),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("usage: rmt-bench compare BASELINE CANDIDATE [options]");
+        return ExitCode::from(2);
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare_artifacts(&baseline, &candidate, &cfg);
+    print!("{}", report.render());
+    if report.passed(strict) {
+        println!("PASS: {candidate_path} vs {baseline_path}");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: {candidate_path} vs {baseline_path}");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_show(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: rmt-bench show ARTIFACT");
+        return ExitCode::from(2);
+    };
+    let artifact = match load(path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let field = |k: &str| artifact.get(k).map(Json::encode).unwrap_or_default();
+    println!("experiment:  {}", field("experiment"));
+    println!("schema:      {}", field("schema"));
+    println!("params:      {}", field("params"));
+    println!("build:       {}", field("build"));
+    let rows = artifact
+        .get("measurements")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    println!("rows:        {rows}");
+    if let Some(ns) = artifact
+        .get("wall")
+        .and_then(|w| w.get("ns"))
+        .or_else(|| artifact.get("wall_ns"))
+        .and_then(Json::as_i64)
+    {
+        println!("wall:        {}", rmt_obs::fmt_ns(ns.max(0) as u64));
+    }
+    if let Some(Json::Obj(counters)) = artifact.get("counters") {
+        println!("counters:    {}", counters.len());
+        for (name, v) in counters {
+            println!("  {name} {}", v.encode());
+        }
+    }
+    ExitCode::SUCCESS
+}

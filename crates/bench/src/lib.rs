@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -81,18 +83,24 @@ impl Table {
 ///
 /// Every `e*` binary drives its run through an `Experiment`: tables print as
 /// before, and when the binary is invoked with `--json` the run additionally
-/// writes `BENCH_E<k>.json` — a single schema'd object
+/// writes `BENCH_E<k>.json` — a single schema-v2 object
 ///
 /// ```json
-/// {"experiment": ..., "params": {...}, "measurements": [...],
-///  "wall_ns": ..., "counters": {...}}
+/// {"schema": 2, "experiment": ..., "params": {...}, "measurements": [...],
+///  "wall": {"ns": ..., "human": "..."}, "counters": {...},
+///  "build": {"version": ..., "profile": ..., "os": ..., "arch": ...}}
 /// ```
 ///
 /// where `measurements` holds one object per recorded table row (numeric
-/// cells coerced to numbers) and `counters` is the snapshot of
+/// cells coerced to numbers, duration cells like `"316µs"` to
+/// `{"ns": 316000, "human": "316µs"}`, ratio cells like `"4.3×"` to
+/// `{"ratio": 4.3, "human": "4.3×"}`) and `counters` is the snapshot of
 /// [`Experiment::registry`] — populated by the instrumented deciders
 /// (`find_rmt_cut_observed`, `zpp_cut_by_fixpoint_observed`,
-/// `materialize_bounded_observed`, …).
+/// `materialize_bounded_observed`, …), histograms summarized with
+/// p50/p90/p99 quantiles. The structured duration/ratio fields are what the
+/// [`compare`] gate thresholds on; everything stringly stays a verdict
+/// column compared by identity.
 pub struct Experiment {
     name: String,
     json: bool,
@@ -180,15 +188,37 @@ impl Experiment {
             return;
         }
         let path = self.artifact_path();
+        let wall = self.start.elapsed();
+        let wall_ns = i64::try_from(wall.as_nanos()).unwrap_or(i64::MAX);
         let artifact = Json::obj([
+            ("schema", Json::Int(2)),
             ("experiment", Json::from(self.name.as_str())),
             ("params", Json::Obj(self.params)),
             ("measurements", Json::Arr(self.measurements)),
             (
-                "wall_ns",
-                Json::from(i64::try_from(self.start.elapsed().as_nanos()).unwrap_or(i64::MAX)),
+                "wall",
+                Json::obj([
+                    ("ns", Json::Int(wall_ns)),
+                    ("human", Json::from(fmt_duration(wall).as_str())),
+                ]),
             ),
             ("counters", self.registry.to_json()),
+            (
+                "build",
+                Json::obj([
+                    ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+                    (
+                        "profile",
+                        Json::from(if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        }),
+                    ),
+                    ("os", Json::from(std::env::consts::OS)),
+                    ("arch", Json::from(std::env::consts::ARCH)),
+                ]),
+            ),
         ]);
         let mut text = artifact.encode();
         text.push('\n');
@@ -208,7 +238,34 @@ fn coerce_cell(cell: &str) -> Json {
             return Json::Num(x);
         }
     }
+    if let Some(ns) = parse_duration_ns(cell) {
+        return Json::obj([("ns", Json::Int(ns)), ("human", Json::from(cell))]);
+    }
+    if let Some(ratio) = cell.strip_suffix('×').and_then(|r| r.parse::<f64>().ok()) {
+        if ratio.is_finite() {
+            return Json::obj([("ratio", Json::Num(ratio)), ("human", Json::from(cell))]);
+        }
+    }
     Json::from(cell)
+}
+
+/// Parses the compact duration renderings of [`fmt_duration`] and
+/// [`rmt_obs::fmt_ns`] (`"316µs"`, `"1.3ms"`, `"2.00s"`, `"12ns"`) back to
+/// nanoseconds; `None` for anything else.
+pub(crate) fn parse_duration_ns(cell: &str) -> Option<i64> {
+    let (digits, scale) = if let Some(p) = cell.strip_suffix("ns") {
+        (p, 1.0)
+    } else if let Some(p) = cell.strip_suffix("µs") {
+        (p, 1e3)
+    } else if let Some(p) = cell.strip_suffix("ms") {
+        (p, 1e6)
+    } else if let Some(p) = cell.strip_suffix('s') {
+        (p, 1e9)
+    } else {
+        return None;
+    };
+    let x: f64 = digits.parse().ok()?;
+    (x.is_finite() && x >= 0.0).then(|| (x * scale).round() as i64)
 }
 
 /// Mean of a sample.
@@ -317,6 +374,35 @@ mod tests {
         assert_eq!(m.get("attack").and_then(Json::as_str), Some("silent"));
         assert_eq!(m.get("runs").and_then(Json::as_i64), Some(50));
         assert_eq!(m.get("rate").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn duration_and_ratio_cells_coerce_to_structured_fields() {
+        let mut t = Table::new("demo", &["time", "speedup", "note", "frac"]);
+        t.row(&["316µs", "4.3×", "—", "96/96"]);
+        t.row(&["1.3ms", "0.9×", "msgs", "2.00s"]);
+        let mut exp = Experiment::new("e6_scaling");
+        exp.record_table(&t);
+        let m = &exp.measurements[0];
+        let time = m.get("time").unwrap();
+        assert_eq!(time.get("ns").and_then(Json::as_i64), Some(316_000));
+        assert_eq!(time.get("human").and_then(Json::as_str), Some("316µs"));
+        let speedup = m.get("speedup").unwrap();
+        assert_eq!(speedup.get("ratio").and_then(Json::as_f64), Some(4.3));
+        // Non-durations stay verdict strings.
+        assert_eq!(m.get("note").and_then(Json::as_str), Some("—"));
+        assert_eq!(m.get("frac").and_then(Json::as_str), Some("96/96"));
+        let m2 = &exp.measurements[1];
+        assert_eq!(
+            m2.get("time").unwrap().get("ns").and_then(Json::as_i64),
+            Some(1_300_000)
+        );
+        assert_eq!(
+            m2.get("frac").unwrap().get("ns").and_then(Json::as_i64),
+            Some(2_000_000_000)
+        );
+        // "msgs" ends in 's' but is not a duration.
+        assert_eq!(m2.get("note").and_then(Json::as_str), Some("msgs"));
     }
 
     #[test]

@@ -232,17 +232,23 @@ pub fn find_rmt_cut_anchored_observed_with(
     reg: &Registry,
     budget: &AnchorBudget,
 ) -> Option<RmtCutWitness> {
+    let _phase = reg.phase("rmt_cut.anchored");
     let _timer = reg.timer("rmt_cut.anchored_ns");
     if inst.graph().has_edge(inst.dealer(), inst.receiver()) {
         return None;
     }
-    let anchors = match instance_anchors(inst, budget) {
+    let anchors = {
+        let _p = reg.phase("rmt_cut.anchored.anchors");
+        instance_anchors(inst, budget)
+    };
+    let anchors = match anchors {
         Ok(anchors) => anchors,
         Err(_) => {
             reg.counter("rmt_cut.exhaustive_fallbacks").inc();
             return find_rmt_cut_observed(inst, reg);
         }
     };
+    let _scan = reg.phase("rmt_cut.anchored.scan");
     let separators_enumerated = reg.counter("rmt_cut.separators_enumerated");
     let components_enumerated = reg.counter("rmt_cut.components_enumerated");
     let partition_checks = reg.counter("rmt_cut.partition_checks");
@@ -309,18 +315,24 @@ pub fn zpp_cut_by_enumeration_anchored_observed(
     inst: &Instance,
     reg: &Registry,
 ) -> Option<ZppCutWitness> {
+    let _phase = reg.phase("zpp.anchored");
     let _timer = reg.timer("zpp.anchored_ns");
     if inst.graph().has_edge(inst.dealer(), inst.receiver()) {
         return None;
     }
     let budget = AnchorBudget::default();
-    let anchors = match instance_anchors(inst, &budget) {
+    let anchors = {
+        let _p = reg.phase("zpp.anchored.anchors");
+        instance_anchors(inst, &budget)
+    };
+    let anchors = match anchors {
         Ok(anchors) => anchors,
         Err(_) => {
             reg.counter("zpp.exhaustive_fallbacks").inc();
             return zpp_cut_by_enumeration(inst);
         }
     };
+    let _scan = reg.phase("zpp.anchored.scan");
     let separators_enumerated = reg.counter("zpp.separators_enumerated");
     let components_enumerated = reg.counter("zpp.components_enumerated");
     let plausibility_checks = reg.counter("zpp.plausibility_checks");
@@ -463,6 +475,29 @@ mod tests {
         assert!(reg.counter("rmt_cut.cache_misses").get() > 0);
         assert!(reg.counter("zpp.separators_enumerated").get() > 0);
         assert_eq!(reg.histogram("rmt_cut.anchored_ns").count(), 12);
+    }
+
+    #[test]
+    fn profiled_decider_emits_well_nested_phase_spans() {
+        let reg = rmt_obs::Registry::new().with_clock(rmt_obs::Clock::virtual_ns(1));
+        let prof = rmt_obs::Profiler::new(reg.clock());
+        reg.attach_profiler(prof.clone());
+        let mut rng = generators::seeded(0x0B5);
+        let inst = random_instance_nonadjacent(6, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
+        let expected = find_rmt_cut_anchored(&inst);
+        assert_eq!(find_rmt_cut_anchored_observed(&inst, &reg), expected);
+        let roots = rmt_obs::span_tree(&prof.events()).expect("well nested");
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "rmt_cut.anchored");
+        let kids: Vec<&str> = roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert!(kids.contains(&"rmt_cut.anchored.anchors"), "{kids:?}");
+        // Virtual clock: a second identical run replays identical timestamps.
+        let reg2 = rmt_obs::Registry::new().with_clock(rmt_obs::Clock::virtual_ns(1));
+        let prof2 = rmt_obs::Profiler::new(reg2.clock());
+        reg2.attach_profiler(prof2.clone());
+        find_rmt_cut_anchored_observed(&inst, &reg2);
+        assert_eq!(prof.events(), prof2.events());
+        assert_eq!(reg.render(), reg2.render());
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub fn find_rmt_cut_par_observed(
     reg: &Registry,
     threads: usize,
 ) -> Option<RmtCutWitness> {
+    // Opened before the fan-out, closed after the join: span events stay at
+    // thread-count-independent positions (worker shards carry no profiler).
+    let _phase = reg.phase("rmt_cut.search");
     let _timer = reg.timer("rmt_cut.search_ns");
     let candidates_examined = reg.counter("rmt_cut.candidates_examined");
     let partition_checks = reg.counter("rmt_cut.partition_checks");
@@ -148,6 +151,7 @@ pub fn find_rmt_cut_anchored_par_observed(
     reg: &Registry,
     threads: usize,
 ) -> Option<RmtCutWitness> {
+    let _phase = reg.phase("rmt_cut.anchored");
     let _timer = reg.timer("rmt_cut.anchored_ns");
     let budget = AnchorBudget::default();
     if inst.graph().has_edge(inst.dealer(), inst.receiver()) {
@@ -277,6 +281,7 @@ pub fn zpp_cut_by_fixpoint_par_observed(
     reg: &Registry,
     threads: usize,
 ) -> Option<ZppCutWitness> {
+    let _phase = reg.phase("zpp.decide");
     let _timer = reg.timer("zpp.decide_ns");
     let r = inst.receiver();
     if inst.graph().has_edge(inst.dealer(), r) {

@@ -136,8 +136,11 @@ pub fn find_rmt_cut(inst: &Instance) -> Option<RmtCutWitness> {
 /// * `rmt_cut.candidates_examined` — candidate sets `C` tested;
 /// * `rmt_cut.partition_checks` — `(C₁, C₂)` partitions membership-tested
 ///   against 𝒵_B (only reached when `C` is a D–R cut);
-/// * `rmt_cut.search_ns` — wall time of the whole search (histogram).
+/// * `rmt_cut.search_ns` — wall time of the whole search (histogram);
+///
+/// plus a `rmt_cut.search` phase span when the registry carries a profiler.
 pub fn find_rmt_cut_observed(inst: &Instance, reg: &Registry) -> Option<RmtCutWitness> {
+    let _phase = reg.phase("rmt_cut.search");
     let _timer = reg.timer("rmt_cut.search_ns");
     let candidates_examined = reg.counter("rmt_cut.candidates_examined");
     let partition_checks = reg.counter("rmt_cut.partition_checks");

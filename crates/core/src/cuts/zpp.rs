@@ -122,6 +122,7 @@ pub fn zcpa_fixpoint(inst: &Instance, corrupted: &NodeSet) -> NodeSet {
 /// * `zcpa.certification_checks` — membership tests of a certifier set
 ///   against a local structure 𝒵_u.
 pub fn zcpa_fixpoint_observed(inst: &Instance, corrupted: &NodeSet, reg: &Registry) -> NodeSet {
+    let _phase = reg.phase("zcpa.fixpoint");
     let stats = FixpointStats {
         sweeps: reg.counter("zcpa.sweeps"),
         certification_checks: reg.counter("zcpa.certification_checks"),
@@ -201,8 +202,12 @@ pub fn zpp_cut_by_fixpoint(inst: &Instance) -> Option<ZppCutWitness> {
 /// everything [`zcpa_fixpoint_observed`] records, plus
 ///
 /// * `zpp.corruption_sets_checked` — maximal corruption sets tried;
-/// * `zpp.decide_ns` — wall time of the whole decision (histogram).
+/// * `zpp.decide_ns` — wall time of the whole decision (histogram);
+///
+/// plus a `zpp.decide` phase span (with one `zcpa.fixpoint` child per
+/// corruption set tried) when the registry carries a profiler.
 pub fn zpp_cut_by_fixpoint_observed(inst: &Instance, reg: &Registry) -> Option<ZppCutWitness> {
+    let _phase = reg.phase("zpp.decide");
     let _timer = reg.timer("zpp.decide_ns");
     let (d, r) = (inst.dealer(), inst.receiver());
     if inst.graph().has_edge(d, r) {

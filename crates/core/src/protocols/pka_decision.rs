@@ -36,6 +36,7 @@ use std::collections::{BTreeMap, HashSet};
 use rmt_adversary::AdversaryStructure;
 use rmt_graph::separators::{self, AnchorScan};
 use rmt_graph::{paths, traversal, Graph};
+use rmt_obs::Registry;
 use rmt_sets::{NodeId, NodeSet};
 
 use crate::protocols::Value;
@@ -89,6 +90,8 @@ pub struct ReceiverState {
     /// Claims dropped as self-inconsistent (structure escaping the view, or
     /// view not containing the node).
     pub malformed_claims: u64,
+    /// Claim selections examined across all [`ReceiverState::decide`] calls.
+    pub selections_examined: u64,
 }
 
 impl ReceiverState {
@@ -108,6 +111,7 @@ impl ReceiverState {
             claims: BTreeMap::new(),
             truncated: false,
             malformed_claims: 0,
+            selections_examined: 0,
         }
     }
 
@@ -219,6 +223,34 @@ impl ReceiverState {
             }
         }
         self.truncated |= truncated;
+        self.selections_examined += examined as u64;
+        result
+    }
+
+    /// [`ReceiverState::decide`] with the search effort recorded in `reg`:
+    ///
+    /// * `pka.decide_ns` — wall time per call (histogram, stamped by the
+    ///   registry's clock);
+    /// * `pka.selections_examined` — claim selections examined;
+    /// * `pka.decisions` — calls that returned a value;
+    /// * `pka.truncations` — calls that ran into a budget and abstained
+    ///   conservatively;
+    ///
+    /// plus a `pka.decide` phase span when the registry carries a profiler.
+    pub fn decide_observed(&mut self, cfg: &DecisionConfig, reg: &Registry) -> Option<Value> {
+        let _phase = reg.phase("pka.decide");
+        let _timer = reg.timer("pka.decide_ns");
+        let before_examined = self.selections_examined;
+        let before_truncated = self.truncated;
+        let result = self.decide(cfg);
+        reg.counter("pka.selections_examined")
+            .add(self.selections_examined - before_examined);
+        if result.is_some() {
+            reg.counter("pka.decisions").inc();
+        }
+        if self.truncated && !before_truncated {
+            reg.counter("pka.truncations").inc();
+        }
         result
     }
 
@@ -551,6 +583,30 @@ mod tests {
         state.ingest_claim(2.into(), fake, AdversaryStructure::trivial());
         assert_eq!(state.claim_count(2.into()), 2);
         assert_eq!(state.decide(&DecisionConfig::default()), Some(7));
+    }
+
+    #[test]
+    fn observed_decide_is_transparent_and_records_effort() {
+        let (mut state, g, z) = setup(&[&[1]]);
+        feed_honest(&mut state, &g, &z, 7, &NodeSet::new());
+        let mut twin = state.clone();
+        let reg = Registry::new();
+        let prof = rmt_obs::Profiler::new(rmt_obs::Clock::virtual_ns(1));
+        reg.attach_profiler(prof.clone());
+        let cfg = DecisionConfig::default();
+        assert_eq!(state.decide_observed(&cfg, &reg), twin.decide(&cfg));
+        assert_eq!(state.truncated, twin.truncated);
+        assert_eq!(state.selections_examined, twin.selections_examined);
+        assert_eq!(
+            reg.counter("pka.selections_examined").get(),
+            twin.selections_examined
+        );
+        assert_eq!(reg.counter("pka.decisions").get(), 1);
+        assert_eq!(reg.counter("pka.truncations").get(), 0);
+        assert_eq!(reg.histogram("pka.decide_ns").count(), 1);
+        let roots = rmt_obs::span_tree(&prof.events()).expect("well nested");
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "pka.decide");
     }
 
     #[test]

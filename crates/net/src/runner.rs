@@ -14,11 +14,11 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use rmt_graph::Graph;
-use rmt_obs::{DropReason, NoopObserver, RunEvent, RunObserver};
+use rmt_obs::{Clock, DropReason, NoopObserver, RunEvent, RunObserver};
 use rmt_sets::{NodeId, NodeSet};
 use rmt_sim::{
-    default_max_rounds, sweep_decisions, Adversary, DeliveryLog, Envelope, Metrics, NodeContext,
-    Protocol, RoundInboxes, Transport,
+    default_max_rounds, emit_round_end, sweep_decisions, Adversary, DeliveryLog, Envelope, Metrics,
+    NodeContext, Protocol, RoundInboxes, Transport,
 };
 
 use crate::plan::FaultPlan;
@@ -107,6 +107,7 @@ pub struct NetRunner<Q: Protocol, A> {
     rng: FaultRng,
     max_rounds: u32,
     watch: NodeSet,
+    profile: Option<Clock>,
 }
 
 /// The result of a completed faulty run.
@@ -159,6 +160,7 @@ where
             rng,
             max_rounds,
             watch: NodeSet::new(),
+            profile: None,
         }
     }
 
@@ -172,6 +174,19 @@ where
     /// [`NetOutcome::delivered_to`]).
     pub fn watch(mut self, nodes: NodeSet) -> Self {
         self.watch = nodes;
+        self
+    }
+
+    /// Enables per-round profiling, exactly as
+    /// [`Runner::with_profiling`](rmt_sim::Runner::with_profiling): observed
+    /// runs additionally emit one [`RunEvent::RoundEnd`] per round, whose
+    /// `drops` field here carries the messages the network destroyed that
+    /// round (crashes, partitions and link drops).
+    ///
+    /// Off by default, preserving the empty-plan byte-identity gate against
+    /// the synchronous scheduler.
+    pub fn with_profiling(mut self, clock: Clock) -> Self {
+        self.profile = Some(clock);
         self
     }
 
@@ -190,6 +205,10 @@ where
         let mut decided = vec![false; size];
         let mut queue: BinaryHeap<Scheduled<Q::Payload>> = BinaryHeap::new();
         let mut next_tie: u64 = 0;
+        let profile = if O::ACTIVE { self.profile.take() } else { None };
+        let mut round_start_ns = profile.as_ref().map_or(0, Clock::now_ns);
+        let mut wire_seen = (0u64, 0u64);
+        let mut lost_seen = 0u64;
 
         if O::ACTIVE {
             let corrupted: Vec<u32> = self.adversary.corrupted().iter().map(NodeId::raw).collect();
@@ -258,6 +277,19 @@ where
         metrics.honest_messages_per_round.push(honest_this_round);
         if O::ACTIVE {
             sweep_decisions(&self.graph, &self.protocols, 0, &mut decided, observer);
+        }
+        if let Some(clock) = &profile {
+            let lost = faults.lost();
+            emit_round_end(
+                0,
+                clock,
+                &mut round_start_ns,
+                &metrics,
+                &mut wire_seen,
+                lost - lost_seen,
+                observer,
+            );
+            lost_seen = lost;
         }
 
         for round in 1..=self.max_rounds {
@@ -346,6 +378,19 @@ where
             metrics.honest_messages_per_round.push(honest_this_round);
             if O::ACTIVE {
                 sweep_decisions(&self.graph, &self.protocols, round, &mut decided, observer);
+            }
+            if let Some(clock) = &profile {
+                let lost = faults.lost();
+                emit_round_end(
+                    round,
+                    clock,
+                    &mut round_start_ns,
+                    &metrics,
+                    &mut wire_seen,
+                    lost - lost_seen,
+                    observer,
+                );
+                lost_seen = lost;
             }
         }
 
@@ -742,6 +787,60 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn profiled_faulty_runs_bill_drops_per_round() {
+        let g = generators::path_graph(4);
+        let plan = FaultPlan::new(3).with_default_policy(LinkPolicy {
+            drop: 1.0,
+            ..LinkPolicy::default()
+        });
+        let mut obs = rmt_obs::VecObserver::new();
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .with_profiling(Clock::virtual_ns(7))
+        .run_observed(&mut obs);
+        let (mut rounds_billed, mut drops_billed, mut msgs_billed) = (0u64, 0u64, 0u64);
+        for ev in &obs.events {
+            if let RunEvent::RoundEnd {
+                ns,
+                messages,
+                drops,
+                ..
+            } = ev
+            {
+                rounds_billed += 1;
+                drops_billed += drops;
+                msgs_billed += messages;
+                assert!(*ns > 0, "virtual clock always advances");
+            }
+        }
+        assert!(rounds_billed > 0);
+        assert_eq!(drops_billed, out.faults.lost());
+        assert!(out.faults.dropped > 0);
+        assert_eq!(msgs_billed, out.metrics.total_messages());
+        // Unprofiled observed runs emit no RoundEnd (byte-identity gate).
+        let mut plain = rmt_obs::VecObserver::new();
+        let plan = FaultPlan::new(3).with_default_policy(LinkPolicy {
+            drop: 1.0,
+            ..LinkPolicy::default()
+        });
+        NetRunner::new(
+            generators::path_graph(4),
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .run_observed(&mut plain);
+        assert!(!plain
+            .events
+            .iter()
+            .any(|ev| matches!(ev, RunEvent::RoundEnd { .. })));
     }
 
     #[test]

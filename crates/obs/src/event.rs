@@ -202,6 +202,35 @@ pub enum RunEvent {
         /// `Debug` rendering of the decision value.
         value: String,
     },
+    /// A delivery round finished (profiled runs only): its latency and the
+    /// round's wire bill.
+    RoundEnd {
+        /// The round that ended.
+        round: u32,
+        /// Wall (or virtual) nanoseconds the round took.
+        ns: u64,
+        /// Messages admitted this round (honest + adversarial).
+        messages: u64,
+        /// Honest bits admitted this round.
+        bits: u64,
+        /// Messages the network destroyed this round.
+        drops: u64,
+    },
+    /// A profiling span opened (see [`crate::Profiler`]).
+    SpanOpen {
+        /// The span name.
+        name: String,
+        /// Opening timestamp in clock nanoseconds.
+        at_ns: u64,
+    },
+    /// A profiling span closed. Streams are well-nested: this closes the
+    /// innermost open span, which carries the same name.
+    SpanClose {
+        /// The span name.
+        name: String,
+        /// Closing timestamp in clock nanoseconds.
+        at_ns: u64,
+    },
     /// The run ended.
     RunEnd {
         /// Rounds executed.
@@ -321,6 +350,30 @@ impl RunEvent {
                 ("node", Json::from(*node)),
                 ("value", Json::from(value.clone())),
             ]),
+            RunEvent::RoundEnd {
+                round,
+                ns,
+                messages,
+                bits,
+                drops,
+            } => Json::obj([
+                ("type", Json::from("round_end")),
+                ("round", Json::from(*round)),
+                ("ns", Json::from(*ns)),
+                ("messages", Json::from(*messages)),
+                ("bits", Json::from(*bits)),
+                ("drops", Json::from(*drops)),
+            ]),
+            RunEvent::SpanOpen { name, at_ns } => Json::obj([
+                ("type", Json::from("span_open")),
+                ("name", Json::from(name.clone())),
+                ("at_ns", Json::from(*at_ns)),
+            ]),
+            RunEvent::SpanClose { name, at_ns } => Json::obj([
+                ("type", Json::from("span_close")),
+                ("name", Json::from(name.clone())),
+                ("at_ns", Json::from(*at_ns)),
+            ]),
             RunEvent::RunEnd { rounds } => Json::obj([
                 ("type", Json::from("run_end")),
                 ("rounds", Json::from(*rounds)),
@@ -427,6 +480,21 @@ impl RunEvent {
                 round: u32_field("round")?,
                 node: u32_field("node")?,
                 value: str_field("value")?,
+            }),
+            "round_end" => Ok(RunEvent::RoundEnd {
+                round: u32_field("round")?,
+                ns: u64_field("ns")?,
+                messages: u64_field("messages")?,
+                bits: u64_field("bits")?,
+                drops: u64_field("drops")?,
+            }),
+            "span_open" => Ok(RunEvent::SpanOpen {
+                name: str_field("name")?,
+                at_ns: u64_field("at_ns")?,
+            }),
+            "span_close" => Ok(RunEvent::SpanClose {
+                name: str_field("name")?,
+                at_ns: u64_field("at_ns")?,
             }),
             "run_end" => Ok(RunEvent::RunEnd {
                 rounds: u32_field("rounds")?,
@@ -589,6 +657,21 @@ mod tests {
                 round: 2,
                 node: 2,
                 value: "7".into(),
+            },
+            RunEvent::RoundEnd {
+                round: 2,
+                ns: 316_000,
+                messages: 3,
+                bits: 192,
+                drops: 1,
+            },
+            RunEvent::SpanOpen {
+                name: "decide".into(),
+                at_ns: 10,
+            },
+            RunEvent::SpanClose {
+                name: "decide".into(),
+                at_ns: 42,
             },
             RunEvent::RunEnd { rounds: 2 },
         ]

@@ -1,0 +1,380 @@
+//! Phase profiling: spans, span trees and text flamegraphs.
+//!
+//! A [`Profiler`] hands out RAII [`Span`] guards: opening a span records a
+//! [`RunEvent::SpanOpen`] stamped by the profiler's [`Clock`], dropping the
+//! guard records the matching [`RunEvent::SpanClose`]. Because guards close
+//! in reverse opening order (Rust drop order), the recorded stream is
+//! **well-nested** by construction; [`span_tree`] parses any such stream
+//! back into a forest and [`render_span_tree`] renders it as an indented
+//! text flamegraph.
+//!
+//! Spans ride the same [`RunEvent`] stream and JSONL codec as every other
+//! observable step, so a profile is just another recorded trace:
+//! `rmt-trace profile` renders one from any `.jsonl` file. Under a virtual
+//! clock ([`Clock::virtual_ns`]) the recorded timestamps are deterministic,
+//! which is how the determinism gate checks profiled runs byte for byte.
+
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::event::RunEvent;
+
+struct ProfInner {
+    events: Vec<RunEvent>,
+    depth: usize,
+}
+
+/// Records well-nested [`RunEvent::SpanOpen`]/[`RunEvent::SpanClose`] pairs
+/// stamped by a [`Clock`]. Cloning shares the underlying recording.
+#[derive(Clone)]
+pub struct Profiler {
+    inner: Arc<Mutex<ProfInner>>,
+    clock: Clock,
+}
+
+impl Profiler {
+    /// Creates a profiler stamping spans with `clock`.
+    pub fn new(clock: Clock) -> Self {
+        Profiler {
+            inner: Arc::new(Mutex::new(ProfInner {
+                events: Vec::new(),
+                depth: 0,
+            })),
+            clock,
+        }
+    }
+
+    /// The profiler's clock (shared: reads advance a virtual clock).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Opens a span named `name`; the returned guard closes it on drop.
+    pub fn span(&self, name: &'static str) -> Span {
+        let at_ns = self.clock.now_ns();
+        let mut inner = self.inner.lock().expect("profiler lock");
+        inner.depth += 1;
+        inner.events.push(RunEvent::SpanOpen {
+            name: name.to_string(),
+            at_ns,
+        });
+        Span {
+            profiler: self.clone(),
+            name,
+        }
+    }
+
+    /// The recorded span events so far, in emission order.
+    pub fn events(&self) -> Vec<RunEvent> {
+        self.inner.lock().expect("profiler lock").events.clone()
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.inner.lock().expect("profiler lock").depth
+    }
+
+    fn close(&self, name: &'static str) {
+        let at_ns = self.clock.now_ns();
+        let mut inner = self.inner.lock().expect("profiler lock");
+        inner.depth = inner.depth.saturating_sub(1);
+        inner.events.push(RunEvent::SpanClose {
+            name: name.to_string(),
+            at_ns,
+        });
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("open_spans", &self.open_spans())
+            .finish()
+    }
+}
+
+/// An open span; closes (records [`RunEvent::SpanClose`]) when dropped.
+#[must_use = "a span guard closes its span when dropped"]
+pub struct Span {
+    profiler: Profiler,
+    name: &'static str,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.profiler.close(self.name);
+    }
+}
+
+/// One node of a parsed span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span name.
+    pub name: String,
+    /// Opening timestamp (ns).
+    pub start_ns: u64,
+    /// Closing timestamp (ns).
+    pub end_ns: u64,
+    /// Spans opened and closed while this one was open.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Parses the span events of a stream into a forest, ignoring every
+/// non-span event.
+///
+/// Errors when the stream is not well-nested: a close without a matching
+/// open, a close naming a span other than the innermost open one, a close
+/// stamped before its open, or a span left open at the end.
+pub fn span_tree(events: &[RunEvent]) -> Result<Vec<SpanNode>, String> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    // Open spans, outermost first; children accumulate in the node itself.
+    let mut stack: Vec<SpanNode> = Vec::new();
+    for ev in events {
+        match ev {
+            RunEvent::SpanOpen { name, at_ns } => stack.push(SpanNode {
+                name: name.clone(),
+                start_ns: *at_ns,
+                end_ns: *at_ns,
+                children: Vec::new(),
+            }),
+            RunEvent::SpanClose { name, at_ns } => {
+                let mut node = stack
+                    .pop()
+                    .ok_or_else(|| format!("span_close '{name}' without an open span"))?;
+                if &node.name != name {
+                    return Err(format!(
+                        "span_close '{name}' while '{}' is innermost",
+                        node.name
+                    ));
+                }
+                if *at_ns < node.start_ns {
+                    return Err(format!("span '{name}' closes before it opens"));
+                }
+                node.end_ns = *at_ns;
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => roots.push(node),
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(format!("span '{}' is never closed", open.name));
+    }
+    Ok(roots)
+}
+
+/// Formats nanoseconds compactly (ns/µs/ms/s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Renders a span forest as an indented text flamegraph: one line per span
+/// with its duration, share of the forest total, and a bar scaled to it.
+pub fn render_span_tree(roots: &[SpanNode]) -> String {
+    const BAR: usize = 24;
+    let total: u64 = roots.iter().map(SpanNode::duration_ns).sum();
+    let mut out = format!("span profile (total {})\n", fmt_ns(total));
+    fn walk(node: &SpanNode, depth: usize, total: u64, out: &mut String) {
+        let d = node.duration_ns();
+        let frac = if total == 0 {
+            0.0
+        } else {
+            d as f64 / total as f64
+        };
+        let filled = ((frac * BAR as f64).round() as usize).min(BAR);
+        let label = format!("{}{}", "  ".repeat(depth + 1), node.name);
+        out.push_str(&format!(
+            "{label:<40} {:>9}  {:>5.1}%  {}{}\n",
+            fmt_ns(d),
+            frac * 100.0,
+            "█".repeat(filled),
+            "·".repeat(BAR - filled),
+        ));
+        for child in &node.children {
+            walk(child, depth + 1, total, out);
+        }
+    }
+    for root in roots {
+        walk(root, 0, total, &mut out);
+    }
+    out
+}
+
+/// Renders the per-round latency/wire rows of a stream (its
+/// [`RunEvent::RoundEnd`] events) as an aligned table; empty string when the
+/// stream has none.
+pub fn render_round_profile(events: &[RunEvent]) -> String {
+    let rows: Vec<(u32, u64, u64, u64, u64)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            RunEvent::RoundEnd {
+                round,
+                ns,
+                messages,
+                bits,
+                drops,
+            } => Some((*round, *ns, *messages, *bits, *drops)),
+            _ => None,
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("round profile\n");
+    out.push_str(&format!(
+        "  {:>5}  {:>9}  {:>6}  {:>8}  {:>5}\n",
+        "round", "latency", "msgs", "bits", "drops"
+    ));
+    let (mut ns, mut msgs, mut bits, mut drops) = (0u64, 0u64, 0u64, 0u64);
+    for (round, r_ns, r_msgs, r_bits, r_drops) in &rows {
+        out.push_str(&format!(
+            "  {:>5}  {:>9}  {:>6}  {:>8}  {:>5}\n",
+            round,
+            fmt_ns(*r_ns),
+            r_msgs,
+            r_bits,
+            r_drops
+        ));
+        ns += r_ns;
+        msgs += r_msgs;
+        bits += r_bits;
+        drops += r_drops;
+    }
+    out.push_str(&format!(
+        "  {:>5}  {:>9}  {:>6}  {:>8}  {:>5}\n",
+        "total",
+        fmt_ns(ns),
+        msgs,
+        bits,
+        drops
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_well_nested_events() {
+        let prof = Profiler::new(Clock::virtual_ns(1));
+        {
+            let _outer = prof.span("outer");
+            {
+                let _inner = prof.span("inner");
+            }
+            let _second = prof.span("second");
+        }
+        assert_eq!(prof.open_spans(), 0);
+        let events = prof.events();
+        assert_eq!(events.len(), 6);
+        let roots = span_tree(&events).expect("well nested");
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        let kids: Vec<&str> = roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, vec!["inner", "second"]);
+        // Virtual clock: open at 1, close at 6.
+        assert_eq!(roots[0].start_ns, 1);
+        assert_eq!(roots[0].end_ns, 6);
+        assert_eq!(roots[0].duration_ns(), 5);
+    }
+
+    #[test]
+    fn span_tree_rejects_malformed_streams() {
+        let close = |name: &str, at_ns| RunEvent::SpanClose {
+            name: name.into(),
+            at_ns,
+        };
+        let open = |name: &str, at_ns| RunEvent::SpanOpen {
+            name: name.into(),
+            at_ns,
+        };
+        assert!(span_tree(&[close("a", 1)]).is_err());
+        assert!(span_tree(&[open("a", 1)]).is_err());
+        assert!(span_tree(&[open("a", 1), close("b", 2)]).is_err());
+        assert!(span_tree(&[open("a", 5), close("a", 2)]).is_err());
+        assert!(span_tree(&[open("a", 1), close("a", 2)]).is_ok());
+    }
+
+    #[test]
+    fn non_span_events_are_ignored_by_the_tree() {
+        let events = vec![
+            RunEvent::RoundStart { round: 1 },
+            RunEvent::SpanOpen {
+                name: "x".into(),
+                at_ns: 1,
+            },
+            RunEvent::RunEnd { rounds: 1 },
+            RunEvent::SpanClose {
+                name: "x".into(),
+                at_ns: 9,
+            },
+        ];
+        let roots = span_tree(&events).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].duration_ns(), 8);
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let prof = Profiler::new(Clock::virtual_ns(1_000));
+        {
+            let _a = prof.span("decide");
+            let _b = prof.span("paths");
+        }
+        let roots = span_tree(&prof.events()).unwrap();
+        let text = render_span_tree(&roots);
+        assert!(text.starts_with("span profile (total "));
+        assert!(text.contains("decide"));
+        assert!(text.contains("  paths"));
+        assert!(text.contains('%'));
+
+        let rounds = vec![
+            RunEvent::RoundEnd {
+                round: 0,
+                ns: 1_500,
+                messages: 4,
+                bits: 256,
+                drops: 0,
+            },
+            RunEvent::RoundEnd {
+                round: 1,
+                ns: 2_500,
+                messages: 2,
+                bits: 128,
+                drops: 1,
+            },
+        ];
+        let table = render_round_profile(&rounds);
+        assert!(table.contains("round profile"));
+        assert!(table.contains("1.5µs"));
+        assert!(table.contains("total"));
+        assert_eq!(render_round_profile(&[]), "");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(2_500), "2.5µs");
+        assert_eq!(fmt_ns(316_000), "316.0µs");
+        assert_eq!(fmt_ns(4_300_000), "4.3ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

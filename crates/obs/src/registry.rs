@@ -6,15 +6,42 @@
 //! cheap `Arc`-backed atomics, so hot loops resolve a handle once by name
 //! and then pay a relaxed atomic op per update.
 //!
+//! Metric names are `&'static str`: resolving a handle never allocates, and
+//! the registry maps are keyed by the interned pointer-free literal itself.
+//! Names composed at runtime go through [`intern`] once and are then static
+//! for the life of the process.
+//!
 //! Duration measurement goes through [`Registry::timer`], whose guard
-//! records elapsed nanoseconds into a histogram on drop.
+//! records elapsed nanoseconds into a histogram on drop — stamped by the
+//! registry's [`Clock`], so a virtual-clock registry produces deterministic
+//! `*_ns` histograms. A registry can also carry a [`Profiler`]
+//! ([`Registry::attach_profiler`]); instrumented code opens per-phase spans
+//! through [`Registry::phase`], which is a no-op when none is attached.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::clock::Clock;
 use crate::json::Json;
+use crate::profile::{Profiler, Span};
+
+/// Interns a runtime-composed metric name, returning a `&'static str`.
+///
+/// Repeated calls with the same name return the same leaked allocation, so
+/// the total leak is bounded by the set of distinct names ever interned.
+/// Names written as literals never need this.
+pub fn intern(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut pool = pool.lock().expect("intern pool lock");
+    if let Some(existing) = pool.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
 
 /// A monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
@@ -170,6 +197,30 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`0 < q ≤ 1`) at bucket resolution: the inclusive
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `ceil(q · count)`. Exact for exact-bucket values (0 and 1); an upper
+    /// bound within 2× otherwise. 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return match i {
+                    0 => 0,
+                    1..=63 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                };
+            }
+        }
+        self.max()
+    }
+
     /// Merges all of `other`'s samples into this histogram (shard merge).
     ///
     /// Exact when `other` is quiescent (its workers have finished), which is
@@ -211,36 +262,60 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// The artifact summary: `{count, sum, min, max, mean, p50, p90, p99}`.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count())),
+            ("sum", Json::from(self.sum())),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max())),
+            ("mean", Json::from(self.mean())),
+            ("p50", Json::from(self.quantile(0.50))),
+            ("p90", Json::from(self.quantile(0.90))),
+            ("p99", Json::from(self.quantile(0.99))),
+        ])
+    }
 }
 
-/// Records elapsed wall-clock nanoseconds into a histogram when dropped.
+/// Records elapsed clock nanoseconds into a histogram when dropped.
 pub struct ScopedTimer {
     histogram: Histogram,
-    start: Instant,
+    clock: Clock,
+    start_ns: u64,
 }
 
 impl ScopedTimer {
-    /// Starts timing into `histogram`.
+    /// Starts timing into `histogram` on a fresh wall clock.
     pub fn new(histogram: Histogram) -> Self {
+        ScopedTimer::with_clock(histogram, Clock::wall())
+    }
+
+    /// Starts timing into `histogram` on `clock`.
+    pub fn with_clock(histogram: Histogram, clock: Clock) -> Self {
+        let start_ns = clock.now_ns();
         ScopedTimer {
             histogram,
-            start: Instant::now(),
+            clock,
+            start_ns,
         }
     }
 }
 
 impl Drop for ScopedTimer {
     fn drop(&mut self) {
-        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ns = self.clock.now_ns().saturating_sub(self.start_ns);
         self.histogram.record(ns);
     }
 }
 
 #[derive(Default)]
 struct RegistryInner {
-    counters: BTreeMap<String, Counter>,
-    gauges: BTreeMap<String, Gauge>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    clock: Clock,
+    profiler: Option<Profiler>,
 }
 
 /// A named collection of metrics. Cloning shares the underlying state.
@@ -250,36 +325,73 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry on a wall clock.
     pub fn new() -> Self {
         Registry::default()
     }
 
+    /// Sets the clock timers stamp durations with. A virtual clock
+    /// ([`Clock::virtual_ns`]) makes every `*_ns` histogram deterministic.
+    pub fn with_clock(self, clock: Clock) -> Self {
+        self.inner.lock().expect("registry lock").clock = clock;
+        self
+    }
+
+    /// The registry's clock (shared with its timers).
+    pub fn clock(&self) -> Clock {
+        self.inner.lock().expect("registry lock").clock.clone()
+    }
+
+    /// Attaches a profiler: subsequent [`Registry::phase`] calls open spans
+    /// on it.
+    pub fn attach_profiler(&self, profiler: Profiler) {
+        self.inner.lock().expect("registry lock").profiler = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<Profiler> {
+        self.inner.lock().expect("registry lock").profiler.clone()
+    }
+
+    /// Opens a per-phase span on the attached profiler; `None` (and no
+    /// work at all) when no profiler is attached. Hold the guard for the
+    /// phase's extent:
+    ///
+    /// ```
+    /// # let reg = rmt_obs::Registry::new();
+    /// let _phase = reg.phase("decide.paths");
+    /// ```
+    pub fn phase(&self, name: &'static str) -> Option<Span> {
+        self.profiler().map(|p| p.span(name))
+    }
+
     /// The counter named `name` (created on first use).
-    pub fn counter(&self, name: &str) -> Counter {
+    pub fn counter(&self, name: &'static str) -> Counter {
         let mut inner = self.inner.lock().expect("registry lock");
-        inner.counters.entry(name.to_string()).or_default().clone()
+        inner.counters.entry(name).or_default().clone()
     }
 
     /// The gauge named `name` (created on first use).
-    pub fn gauge(&self, name: &str) -> Gauge {
+    pub fn gauge(&self, name: &'static str) -> Gauge {
         let mut inner = self.inner.lock().expect("registry lock");
-        inner.gauges.entry(name.to_string()).or_default().clone()
+        inner.gauges.entry(name).or_default().clone()
     }
 
     /// The histogram named `name` (created on first use).
-    pub fn histogram(&self, name: &str) -> Histogram {
+    pub fn histogram(&self, name: &'static str) -> Histogram {
         let mut inner = self.inner.lock().expect("registry lock");
-        inner
-            .histograms
-            .entry(name.to_string())
-            .or_default()
-            .clone()
+        inner.histograms.entry(name).or_default().clone()
     }
 
-    /// Starts a scoped timer recording into histogram `name` (in ns).
-    pub fn timer(&self, name: &str) -> ScopedTimer {
-        ScopedTimer::new(self.histogram(name))
+    /// Starts a scoped timer recording into histogram `name` (in ns),
+    /// stamped by the registry's clock.
+    pub fn timer(&self, name: &'static str) -> ScopedTimer {
+        let (histogram, clock) = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            let h = inner.histograms.entry(name).or_default().clone();
+            (h, inner.clock.clone())
+        };
+        ScopedTimer::with_clock(histogram, clock)
     }
 
     /// Merges every metric of `other` into this registry by name, creating
@@ -289,7 +401,9 @@ impl Registry {
     /// give each worker a fresh `Registry`, let it record freely without
     /// contending on the shared one, then `merge_from` each shard after the
     /// join. Counters and histograms add; gauges merge by maximum. Merging a
-    /// quiescent shard is exact — totals equal single-registry recording.
+    /// quiescent shard is exact — totals equal single-registry recording —
+    /// and iteration is in sorted name order, so repeated merges visit
+    /// metrics deterministically.
     pub fn merge_from(&self, other: &Registry) {
         let (counters, gauges, histograms) = {
             let inner = other.inner.lock().expect("registry lock");
@@ -297,59 +411,65 @@ impl Registry {
                 inner
                     .counters
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .map(|(&k, v)| (k, v.clone()))
                     .collect::<Vec<_>>(),
                 inner
                     .gauges
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .map(|(&k, v)| (k, v.clone()))
                     .collect::<Vec<_>>(),
                 inner
                     .histograms
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .map(|(&k, v)| (k, v.clone()))
                     .collect::<Vec<_>>(),
             )
         };
         for (name, c) in counters {
-            self.counter(&name).merge_from(&c);
+            self.counter(name).merge_from(&c);
         }
         for (name, g) in gauges {
-            self.gauge(&name).merge_from(&g);
+            self.gauge(name).merge_from(&g);
         }
         for (name, h) in histograms {
-            self.histogram(&name).merge_from(&h);
+            self.histogram(name).merge_from(&h);
         }
+    }
+
+    /// All metric names currently registered, sorted.
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<&'static str> = inner
+            .counters
+            .keys()
+            .chain(inner.gauges.keys())
+            .chain(inner.histograms.keys())
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
     }
 
     /// All metrics as a JSON object, names sorted, suitable for the
     /// `counters` field of an experiment artifact.
     ///
     /// Counters render as integers, gauges as `{value, max}`, histograms as
-    /// `{count, sum, min, max, mean}`.
+    /// `{count, sum, min, max, mean, p50, p90, p99}`.
     pub fn to_json(&self) -> Json {
         let inner = self.inner.lock().expect("registry lock");
         let mut pairs: Vec<(String, Json)> = Vec::new();
         for (name, c) in &inner.counters {
-            pairs.push((name.clone(), Json::from(c.get())));
+            pairs.push((name.to_string(), Json::from(c.get())));
         }
         for (name, g) in &inner.gauges {
             pairs.push((
-                name.clone(),
+                name.to_string(),
                 Json::obj([("value", Json::from(g.get())), ("max", Json::from(g.max()))]),
             ));
         }
         for (name, h) in &inner.histograms {
-            pairs.push((
-                name.clone(),
-                Json::obj([
-                    ("count", Json::from(h.count())),
-                    ("sum", Json::from(h.sum())),
-                    ("min", Json::from(h.min())),
-                    ("max", Json::from(h.max())),
-                    ("mean", Json::from(h.mean())),
-                ]),
-            ));
+            pairs.push((name.to_string(), h.summary_json()));
         }
         pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
         Json::Obj(pairs)
@@ -367,12 +487,14 @@ impl Registry {
         }
         for (name, h) in &inner.histograms {
             lines.push(format!(
-                "{name} count={} sum={} min={} max={} mean={:.1}",
+                "{name} count={} sum={} min={} max={} mean={:.1} p50={} p99={}",
                 h.count(),
                 h.sum(),
                 h.min(),
                 h.max(),
                 h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
             ));
         }
         lines.sort();
@@ -395,6 +517,18 @@ mod tests {
         let reg2 = reg.clone();
         reg2.counter("x").inc();
         assert_eq!(reg.counter("x").get(), 6);
+    }
+
+    #[test]
+    fn interned_names_are_stable_and_deduplicated() {
+        let a = intern(&format!("dyn.{}", 7));
+        let b = intern("dyn.7");
+        assert_eq!(a, "dyn.7");
+        assert!(std::ptr::eq(a, b), "same allocation for the same name");
+        let reg = Registry::new();
+        reg.counter(a).inc();
+        reg.counter(b).inc();
+        assert_eq!(reg.counter(intern("dyn.7")).get(), 2);
     }
 
     #[test]
@@ -424,6 +558,27 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0); // empty
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.2), 0); // first sample is the zero bucket
+        assert_eq!(h.quantile(0.4), 1);
+        assert_eq!(h.quantile(0.5), 3); // 2 and 3 share bucket [2,4)
+        assert_eq!(h.quantile(0.8), 3);
+        assert_eq!(h.quantile(1.0), 127); // 100 lands in [64,128)
+        let j = h.summary_json();
+        assert_eq!(j.get("p50").and_then(Json::as_i64), Some(3));
+        assert_eq!(j.get("p99").and_then(Json::as_i64), Some(127));
+        // A saturated sample resolves to the open top bucket.
+        let top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
     fn scoped_timer_records_on_drop() {
         let reg = Registry::new();
         {
@@ -431,6 +586,38 @@ mod tests {
             std::hint::black_box(1 + 1);
         }
         assert_eq!(reg.histogram("op_ns").count(), 1);
+    }
+
+    #[test]
+    fn virtual_clock_timers_are_deterministic() {
+        let run = || {
+            let reg = Registry::new().with_clock(Clock::virtual_ns(100));
+            {
+                let _outer = reg.timer("a_ns");
+                let _inner = reg.timer("b_ns");
+            }
+            (reg.histogram("a_ns").sum(), reg.histogram("b_ns").sum())
+        };
+        // Two reads per timer, inner drops first: b spans one tick (100ns),
+        // a spans three (300ns). Identical on every run.
+        assert_eq!(run(), (300, 100));
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn phase_spans_flow_through_an_attached_profiler() {
+        let reg = Registry::new();
+        assert!(reg.phase("nothing").is_none()); // no profiler: free no-op
+        let prof = Profiler::new(Clock::virtual_ns(1));
+        reg.attach_profiler(prof.clone());
+        {
+            let _p = reg.phase("decide");
+            let _q = reg.phase("decide.paths");
+        }
+        let roots = crate::profile::span_tree(&prof.events()).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "decide");
+        assert_eq!(roots[0].children[0].name, "decide.paths");
     }
 
     #[test]
@@ -491,6 +678,11 @@ mod tests {
                 .and_then(Json::as_i64),
             Some(1)
         );
+        assert_eq!(
+            j.get("h").and_then(|h| h.get("p50")).and_then(Json::as_i64),
+            Some(15) // 10 lands in [8,16)
+        );
         assert!(reg.render().contains("a.count 1"));
+        assert_eq!(reg.metric_names(), vec!["a.count", "b.count", "g", "h"]);
     }
 }

@@ -147,6 +147,15 @@ pub fn render_trace(events: &[RunEvent]) -> String {
                 deliver_round,
             } => format!("  v{from} -> v{to} duplicated (copy arrives round {deliver_round})"),
             RunEvent::NodeCrashed { round: _, node } => format!("  v{node} crashed"),
+            RunEvent::RoundEnd {
+                round: _,
+                ns,
+                messages,
+                bits,
+                drops,
+            } => format!("  round end: {ns}ns, {messages} msgs, {bits} bits, {drops} drops"),
+            RunEvent::SpanOpen { name, at_ns } => format!("  span open '{name}' @ {at_ns}ns"),
+            RunEvent::SpanClose { name, at_ns } => format!("  span close '{name}' @ {at_ns}ns"),
             RunEvent::Decision {
                 round: _,
                 node,
@@ -388,6 +397,36 @@ mod tests {
         assert!(text.contains("v1 crashed"));
         assert!(node_view(&events, 0).is_empty());
         assert!(node_view(&events, 1).is_empty());
+    }
+
+    #[test]
+    fn profiling_events_render_globally_but_stay_out_of_node_views() {
+        // Timing is an omniscient-view concern: spans and round latencies
+        // are not something any single node locally observes.
+        let events = vec![
+            RunEvent::SpanOpen {
+                name: "decide".into(),
+                at_ns: 5,
+            },
+            RunEvent::SpanClose {
+                name: "decide".into(),
+                at_ns: 12,
+            },
+            RunEvent::RoundEnd {
+                round: 1,
+                ns: 7,
+                messages: 2,
+                bits: 128,
+                drops: 0,
+            },
+        ];
+        let text = render_trace(&events);
+        assert!(text.contains("span open 'decide' @ 5ns"));
+        assert!(text.contains("span close 'decide' @ 12ns"));
+        assert!(text.contains("round end: 7ns, 2 msgs, 128 bits, 0 drops"));
+        for v in 0..4 {
+            assert!(node_view(&events, v).is_empty());
+        }
     }
 
     #[test]

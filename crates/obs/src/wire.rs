@@ -1,0 +1,200 @@
+//! Per-link wire-cost accounting derived from recorded event streams.
+//!
+//! The paper's headline claims are communication-cost claims, so the wire
+//! bill of a run must be attributable link by link. Every send and fault
+//! event already carries its `(from, to)` coordinates and (for honest
+//! traffic) its bit size; [`WireStats::from_events`] folds a recorded stream
+//! into a per-directed-link ledger of messages, bits and network drops —
+//! no extra events, no extra instrumentation in the schedulers.
+
+use std::collections::BTreeMap;
+
+use crate::event::RunEvent;
+use crate::json::Json;
+
+/// The wire bill of one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages admitted onto the link (honest + adversarial).
+    pub messages: u64,
+    /// Bits of honest traffic (adversarial payloads carry no honest bit
+    /// accounting).
+    pub bits: u64,
+    /// Messages the network destroyed on the link (all drop causes).
+    pub drops: u64,
+}
+
+impl LinkStats {
+    fn add(&mut self, other: &LinkStats) {
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.drops += other.drops;
+    }
+}
+
+/// Per-link wire accounting for a run, keyed by directed edge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    links: BTreeMap<(u32, u32), LinkStats>,
+}
+
+impl WireStats {
+    /// Folds a recorded event stream into per-link statistics.
+    pub fn from_events(events: &[RunEvent]) -> Self {
+        let mut stats = WireStats::default();
+        for ev in events {
+            match ev {
+                RunEvent::HonestSend { from, to, bits, .. } => {
+                    let link = stats.links.entry((*from, *to)).or_default();
+                    link.messages += 1;
+                    link.bits += bits;
+                }
+                RunEvent::AdversarialSend { from, to, .. } => {
+                    stats.links.entry((*from, *to)).or_default().messages += 1;
+                }
+                RunEvent::FaultDrop { from, to, .. } => {
+                    stats.links.entry((*from, *to)).or_default().drops += 1;
+                }
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// The per-link ledger, sorted by `(from, to)`.
+    pub fn links(&self) -> &BTreeMap<(u32, u32), LinkStats> {
+        &self.links
+    }
+
+    /// The statistics of one directed link (zero if it carried nothing).
+    pub fn link(&self, from: u32, to: u32) -> LinkStats {
+        self.links.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Totals across all links.
+    pub fn total(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for link in self.links.values() {
+            total.add(link);
+        }
+        total
+    }
+
+    /// The ledger as a JSON array sorted by link, one object per link.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.links
+                .iter()
+                .map(|((from, to), s)| {
+                    Json::obj([
+                        ("from", Json::from(*from)),
+                        ("to", Json::from(*to)),
+                        ("messages", Json::from(s.messages)),
+                        ("bits", Json::from(s.bits)),
+                        ("drops", Json::from(s.drops)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Renders the ledger as an aligned text table with a totals row.
+    pub fn render(&self) -> String {
+        let mut out = String::from("wire profile\n");
+        out.push_str(&format!(
+            "  {:>9}  {:>6}  {:>8}  {:>5}\n",
+            "link", "msgs", "bits", "drops"
+        ));
+        for ((from, to), s) in &self.links {
+            out.push_str(&format!(
+                "  {:>9}  {:>6}  {:>8}  {:>5}\n",
+                format!("v{from}→v{to}"),
+                s.messages,
+                s.bits,
+                s.drops
+            ));
+        }
+        let t = self.total();
+        out.push_str(&format!(
+            "  {:>9}  {:>6}  {:>8}  {:>5}\n",
+            "total", t.messages, t.bits, t.drops
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn sample() -> Vec<RunEvent> {
+        vec![
+            RunEvent::HonestSend {
+                round: 0,
+                from: 0,
+                to: 1,
+                bits: 64,
+                payload: "a".into(),
+            },
+            RunEvent::HonestSend {
+                round: 1,
+                from: 0,
+                to: 1,
+                bits: 32,
+                payload: "b".into(),
+            },
+            RunEvent::AdversarialSend {
+                round: 1,
+                from: 2,
+                to: 1,
+                payload: "x".into(),
+            },
+            RunEvent::FaultDrop {
+                round: 1,
+                from: 0,
+                to: 1,
+                reason: DropReason::LinkDrop,
+            },
+            RunEvent::RoundStart { round: 2 },
+        ]
+    }
+
+    #[test]
+    fn per_link_accounting_is_exact() {
+        let stats = WireStats::from_events(&sample());
+        assert_eq!(
+            stats.link(0, 1),
+            LinkStats {
+                messages: 2,
+                bits: 96,
+                drops: 1
+            }
+        );
+        assert_eq!(
+            stats.link(2, 1),
+            LinkStats {
+                messages: 1,
+                bits: 0,
+                drops: 0
+            }
+        );
+        assert_eq!(stats.link(1, 0), LinkStats::default());
+        let total = stats.total();
+        assert_eq!((total.messages, total.bits, total.drops), (3, 96, 1));
+    }
+
+    #[test]
+    fn json_and_text_renderings_are_sorted_by_link() {
+        let stats = WireStats::from_events(&sample());
+        let json = stats.to_json();
+        let arr = json.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("from").and_then(Json::as_i64), Some(0));
+        assert_eq!(arr[0].get("bits").and_then(Json::as_i64), Some(96));
+        assert_eq!(arr[1].get("from").and_then(Json::as_i64), Some(2));
+        let text = stats.render();
+        assert!(text.contains("v0→v1"));
+        assert!(text.contains("total"));
+    }
+}

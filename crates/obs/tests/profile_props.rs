@@ -1,0 +1,166 @@
+//! Properties of the phase profiler and its artifacts: arbitrary span
+//! programs stay well-nested under the virtual clock, histogram merging is
+//! associative, and the new span/timing events survive the JSONL codec.
+
+use proptest::prelude::*;
+use rmt_obs::{
+    parse_jsonl, span_tree, to_jsonl, Clock, Histogram, Profiler, RunEvent, Span, SpanNode,
+};
+
+/// A fixed pool of span names: the profiler takes `&'static str`, so random
+/// programs pick names by index.
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// Replays a random open/close program against a profiler. Commands are
+/// interpreted against an explicit stack, so closes always match the most
+/// recently opened span — exactly the discipline RAII guards enforce.
+fn replay(prof: &Profiler, program: &[u32]) -> usize {
+    let mut stack: Vec<Span> = Vec::new();
+    let mut opened = 0;
+    for &cmd in program {
+        if cmd % 3 != 0 && stack.len() < 6 {
+            stack.push(prof.span(NAMES[cmd as usize % NAMES.len()]));
+            opened += 1;
+        } else {
+            drop(stack.pop());
+        }
+    }
+    while let Some(span) = stack.pop() {
+        drop(span);
+    }
+    opened
+}
+
+fn assert_nested(node: &SpanNode) {
+    assert!(node.start_ns <= node.end_ns, "span runs backwards");
+    for child in &node.children {
+        assert!(
+            node.start_ns <= child.start_ns && child.end_ns <= node.end_ns,
+            "child [{}, {}] escapes parent [{}, {}]",
+            child.start_ns,
+            child.end_ns,
+            node.start_ns,
+            node.end_ns,
+        );
+        assert_nested(child);
+    }
+}
+
+fn count_spans(nodes: &[SpanNode]) -> usize {
+    nodes
+        .iter()
+        .map(|n| 1 + count_spans(&n.children))
+        .sum::<usize>()
+}
+
+/// Counters ride in `Json::Int` (i64), so representable values stop at
+/// `i64::MAX` — comfortably above any real round's budget.
+const MAX_INT: u64 = i64::MAX as u64;
+
+fn arb_round_end() -> impl Strategy<Value = RunEvent> {
+    (
+        0u32..100,
+        0u64..MAX_INT,
+        0u64..MAX_INT,
+        0u64..MAX_INT,
+        0u64..MAX_INT,
+    )
+        .prop_map(|(round, ns, messages, bits, drops)| RunEvent::RoundEnd {
+            round,
+            ns,
+            messages,
+            bits,
+            drops,
+        })
+}
+
+fn arb_span_event() -> impl Strategy<Value = RunEvent> {
+    (0u32..2, 0usize..NAMES.len(), 0u64..MAX_INT).prop_map(|(kind, name, at_ns)| {
+        let name = NAMES[name].to_string();
+        if kind == 0 {
+            RunEvent::SpanOpen { name, at_ns }
+        } else {
+            RunEvent::SpanClose { name, at_ns }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every program of opens and closes — however unbalanced its command
+    /// stream — produces a parseable, well-nested span tree whose node count
+    /// equals the number of spans actually opened, and replaying it under
+    /// the virtual clock gives identical timestamps.
+    #[test]
+    fn arbitrary_span_programs_stay_well_nested(
+        program in proptest::collection::vec(0u32..30, 0..40),
+        step in 1u64..1000,
+    ) {
+        let prof = Profiler::new(Clock::virtual_ns(step));
+        let opened = replay(&prof, &program);
+        let events = prof.events();
+        prop_assert_eq!(events.len(), opened * 2);
+        let roots = span_tree(&events).expect("RAII guards cannot mis-nest");
+        prop_assert_eq!(count_spans(&roots), opened);
+        for root in &roots {
+            assert_nested(root);
+        }
+        // Determinism: the virtual clock makes the whole event stream —
+        // timestamps included — a pure function of the program.
+        let prof2 = Profiler::new(Clock::virtual_ns(step));
+        replay(&prof2, &program);
+        prop_assert_eq!(events, prof2.events());
+    }
+
+    /// Histogram merging is associative (and commutative): any merge order
+    /// over three sample sets yields identical counts, sums and buckets.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..20),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..20),
+        zs in proptest::collection::vec(0u64..100, 0..20),
+    ) {
+        let fill = |samples: &[u64]| {
+            let h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        // (x ⊕ y) ⊕ z
+        let left = fill(&xs);
+        left.merge_from(&fill(&ys));
+        left.merge_from(&fill(&zs));
+        // x ⊕ (y ⊕ z)
+        let right_tail = fill(&ys);
+        right_tail.merge_from(&fill(&zs));
+        let right = fill(&xs);
+        right.merge_from(&right_tail);
+        // z ⊕ y ⊕ x — commutativity for free.
+        let rev = fill(&zs);
+        rev.merge_from(&fill(&ys));
+        rev.merge_from(&fill(&xs));
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        prop_assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+        prop_assert_eq!(left.summary_json(), right.summary_json());
+        prop_assert_eq!(left.nonzero_buckets(), rev.nonzero_buckets());
+        prop_assert_eq!(left.summary_json(), rev.summary_json());
+    }
+
+    /// The new timing events — per-round wire records and span marks —
+    /// survive the JSONL codec byte-exactly.
+    #[test]
+    fn span_and_timing_events_round_trip_through_jsonl(
+        rounds in proptest::collection::vec(arb_round_end(), 0..10),
+        spans in proptest::collection::vec(arb_span_event(), 0..10),
+    ) {
+        let mut events = rounds;
+        events.extend(spans);
+        let text = to_jsonl(&events.iter().map(RunEvent::to_json).collect::<Vec<_>>());
+        let parsed = parse_jsonl(&text).expect("codec emits valid JSONL");
+        let back: Result<Vec<RunEvent>, _> = parsed.iter().map(RunEvent::from_json).collect();
+        prop_assert_eq!(back.expect("events decode"), events);
+    }
+}

@@ -57,6 +57,8 @@ pub use coupled::{CoupledOutcome, CoupledRunner};
 pub use message::{DeliveryLog, Envelope, Payload, RoundInboxes};
 pub use metrics::Metrics;
 pub use protocol::{NodeContext, Protocol};
+#[doc(hidden)]
+pub use runner::emit_round_end;
 pub use runner::{RunOutcome, Runner};
 pub use trace::Transcript;
 pub use transport::{default_max_rounds, sweep_decisions, Transport, MAX_ROUNDS_SLACK};

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 
 use rmt_graph::Graph;
-use rmt_obs::{NoopObserver, RunEvent, RunObserver};
+use rmt_obs::{Clock, NoopObserver, RunEvent, RunObserver};
 use rmt_sets::{NodeId, NodeSet};
 
 use crate::adversary::Adversary;
@@ -29,6 +29,7 @@ pub struct Runner<Q: Protocol, A> {
     adversary: A,
     max_rounds: u32,
     watch: NodeSet,
+    profile: Option<Clock>,
 }
 
 /// The result of a completed run.
@@ -63,6 +64,7 @@ where
             adversary,
             max_rounds,
             watch: NodeSet::new(),
+            profile: None,
         }
     }
 
@@ -76,6 +78,19 @@ where
     /// [`RunOutcome::delivered_to`]).
     pub fn watch(mut self, nodes: NodeSet) -> Self {
         self.watch = nodes;
+        self
+    }
+
+    /// Enables per-round profiling: an observed run additionally emits one
+    /// [`RunEvent::RoundEnd`] per round carrying the round's latency
+    /// (stamped by `clock`) and its wire deltas (messages and bits admitted
+    /// that round).
+    ///
+    /// Off by default so unprofiled observed runs emit byte-identical event
+    /// streams to earlier releases. With a virtual clock
+    /// ([`Clock::virtual_ns`]) the latencies themselves are deterministic.
+    pub fn with_profiling(mut self, clock: Clock) -> Self {
+        self.profile = Some(clock);
         self
     }
 
@@ -98,6 +113,9 @@ where
         let mut metrics = Metrics::default();
         let mut watched: DeliveryLog<Q::Payload> = HashMap::new();
         let mut decided = vec![false; size];
+        let profile = if O::ACTIVE { self.profile.take() } else { None };
+        let mut round_start_ns = profile.as_ref().map_or(0, Clock::now_ns);
+        let mut wire_seen = (0u64, 0u64); // (messages, bits) already billed
 
         if O::ACTIVE {
             let corrupted: Vec<u32> = self.adversary.corrupted().iter().map(NodeId::raw).collect();
@@ -140,6 +158,17 @@ where
         metrics.honest_messages_per_round.push(honest_this_round);
         if O::ACTIVE {
             sweep_decisions(&self.graph, &self.protocols, 0, &mut decided, observer);
+        }
+        if let Some(clock) = &profile {
+            emit_round_end(
+                0,
+                clock,
+                &mut round_start_ns,
+                &metrics,
+                &mut wire_seen,
+                0,
+                observer,
+            );
         }
 
         for round in 1..=self.max_rounds {
@@ -201,6 +230,17 @@ where
             if O::ACTIVE {
                 sweep_decisions(&self.graph, &self.protocols, round, &mut decided, observer);
             }
+            if let Some(clock) = &profile {
+                emit_round_end(
+                    round,
+                    clock,
+                    &mut round_start_ns,
+                    &metrics,
+                    &mut wire_seen,
+                    0,
+                    observer,
+                );
+            }
             inflight = outgoing;
         }
 
@@ -217,6 +257,36 @@ where
             watched,
         }
     }
+}
+
+/// Emits one [`RunEvent::RoundEnd`] billing everything admitted since the
+/// previous round boundary: latency from `round_start_ns` to now (which
+/// becomes the next boundary), message/bit deltas against `wire_seen`, plus
+/// `drops` destroyed messages (always 0 for the fault-free [`Runner`]; the
+/// fault-injecting scheduler passes its per-round loss).
+///
+/// Exported for the `rmt-net` scheduler; not a stable public API.
+#[doc(hidden)]
+pub fn emit_round_end<O: RunObserver>(
+    round: u32,
+    clock: &Clock,
+    round_start_ns: &mut u64,
+    metrics: &Metrics,
+    wire_seen: &mut (u64, u64),
+    drops: u64,
+    observer: &mut O,
+) {
+    let now = clock.now_ns();
+    let (messages, bits) = (metrics.total_messages(), metrics.honest_bits);
+    observer.on_event(&RunEvent::RoundEnd {
+        round,
+        ns: now.saturating_sub(*round_start_ns),
+        messages: messages - wire_seen.0,
+        bits: bits - wire_seen.1,
+        drops,
+    });
+    *round_start_ns = now;
+    *wire_seen = (messages, bits);
 }
 
 impl<Q: Protocol> RunOutcome<Q> {
@@ -341,6 +411,61 @@ mod tests {
         assert_eq!(log[0].1.payload, 7);
         assert!(log.windows(2).all(|w| w[0].0 <= w[1].0));
         assert!(out.delivered_to(0.into()).is_empty()); // not watched
+    }
+
+    #[test]
+    fn profiling_emits_one_round_end_per_round_with_exact_wire_deltas() {
+        let run = |profiled: bool| {
+            let g = generators::cycle(6);
+            let mut runner = Runner::new(g, flood_from_zero, SilentAdversary::new(NodeSet::new()));
+            if profiled {
+                runner = runner.with_profiling(Clock::virtual_ns(10));
+            }
+            let mut obs = rmt_obs::VecObserver::new();
+            let out = runner.run_observed(&mut obs);
+            (out, obs.events)
+        };
+
+        let (out, events) = run(true);
+        let round_ends: Vec<(u64, u64, u64)> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                RunEvent::RoundEnd {
+                    messages,
+                    bits,
+                    drops,
+                    ..
+                } => Some((*messages, *bits, *drops)),
+                _ => None,
+            })
+            .collect();
+        let round_starts = events
+            .iter()
+            .filter(|ev| matches!(ev, RunEvent::RoundStart { .. }))
+            .count();
+        assert_eq!(round_ends.len(), round_starts);
+        let billed: u64 = round_ends.iter().map(|(m, _, _)| m).sum();
+        let billed_bits: u64 = round_ends.iter().map(|(_, b, _)| b).sum();
+        assert_eq!(billed, out.metrics.total_messages());
+        assert_eq!(billed_bits, out.metrics.honest_bits);
+        assert!(round_ends.iter().all(|(_, _, d)| *d == 0));
+        // The virtual clock makes latencies deterministic run over run.
+        let latencies = |evs: &[RunEvent]| -> Vec<u64> {
+            evs.iter()
+                .filter_map(|ev| match ev {
+                    RunEvent::RoundEnd { ns, .. } => Some(*ns),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(latencies(&events), latencies(&run(true).1));
+
+        // Unprofiled observed runs stay exactly as before: no RoundEnd.
+        let (_, plain) = run(false);
+        assert!(!plain
+            .iter()
+            .any(|ev| matches!(ev, RunEvent::RoundEnd { .. })));
+        assert_eq!(plain.len(), events.len() - round_ends.len());
     }
 
     #[test]

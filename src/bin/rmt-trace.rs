@@ -20,6 +20,14 @@
 //! `FaultDuplicate` decisions — to one JSONL file. `show` renders fault
 //! events in the full trace; per-node views deliberately omit them (a node
 //! cannot observe what the network withheld).
+//!
+//! `record-profile` runs the anchored RMT-cut decider and an RMT-PKA round
+//! loop with the phase profiler attached, merging decider phase spans,
+//! per-round `RoundEnd` latency/wire records and protocol events into one
+//! JSONL stream. `profile` renders any recorded trace as a span tree (a
+//! text flamegraph), a per-round latency/traffic table and a per-link wire
+//! bill — sections without data are skipped, so `profile` is also useful
+//! on plain `record` output.
 
 use std::process::ExitCode;
 
@@ -29,8 +37,9 @@ use rmt::core::cuts::find_rmt_cut;
 use rmt::core::Instance;
 use rmt::graph::{Graph, ViewKind};
 use rmt::obs::{
-    diff_node_views, diff_traces, parse_jsonl, render_node_view, render_trace, JsonlObserver,
-    RunEvent,
+    diff_node_views, diff_traces, parse_jsonl, render_node_view, render_round_profile,
+    render_span_tree, render_trace, span_tree, Clock, JsonlObserver, Profiler, Registry, RunEvent,
+    RunObserver, WireStats,
 };
 use rmt::sets::{NodeId, NodeSet};
 
@@ -39,6 +48,11 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("record") => record(args.get(1).map(String::as_str).unwrap_or(".")),
         Some("record-faults") => record_faults(args.get(1).map(String::as_str).unwrap_or(".")),
+        Some("record-profile") => record_profile(args.get(1).map(String::as_str).unwrap_or(".")),
+        Some("profile") => match args.get(1) {
+            Some(path) => profile(path),
+            None => usage("profile needs a trace file"),
+        },
         Some("show") => match (args.get(1), parse_node_flag(&args)) {
             (Some(path), Ok(node)) => show(path, node),
             (_, Err(e)) => usage(&e),
@@ -57,8 +71,10 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!("usage: rmt-trace record [DIR]");
     eprintln!("       rmt-trace record-faults [DIR]");
+    eprintln!("       rmt-trace record-profile [DIR]");
     eprintln!("       rmt-trace show FILE [--node N]");
     eprintln!("       rmt-trace diff A B [--node N]");
+    eprintln!("       rmt-trace profile FILE");
     ExitCode::FAILURE
 }
 
@@ -197,6 +213,121 @@ fn record_faults(dir: &str) -> ExitCode {
     );
     println!("try: rmt-trace show trace_faulty.jsonl           (fault decisions rendered)");
     println!("     rmt-trace show trace_faulty.jsonl --node 3  (the node-local view hides them)");
+    ExitCode::SUCCESS
+}
+
+fn record_profile(dir: &str) -> ExitCode {
+    use rmt::core::cuts::find_rmt_cut_anchored_observed;
+    use rmt::core::protocols::rmt_pka::RmtPka;
+    use rmt::sim::{Runner, SilentAdversary};
+
+    let inst = diamond();
+    let clock = Clock::wall();
+    let reg = Registry::new().with_clock(clock.clone());
+    let prof = Profiler::new(reg.clock());
+    reg.attach_profiler(prof.clone());
+    let witness = find_rmt_cut_anchored_observed(&inst, &reg);
+    println!(
+        "profiled the anchored decider on the diamond: {}",
+        witness
+            .as_ref()
+            .map_or("no RMT-cut".to_string(), |w| format!(
+                "RMT-cut C₁ = {}, C₂ = {}",
+                w.c1, w.c2
+            ))
+    );
+
+    let path = std::path::Path::new(dir).join("trace_profile.jsonl");
+    let mut obs = match std::fs::File::create(&path) {
+        Ok(f) => JsonlObserver::new(std::io::BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Decider phase spans lead the stream; the profiled protocol run —
+    // per-round RoundEnd latency/wire records included — follows.
+    let spans = prof.events();
+    for ev in &spans {
+        obs.on_event(ev);
+    }
+    let out = Runner::new(
+        inst.graph().clone(),
+        |v| RmtPka::node(&inst, v, 1),
+        SilentAdversary::new(NodeSet::new()),
+    )
+    .with_profiling(clock)
+    .run_observed(&mut obs);
+    match obs.into_inner() {
+        Ok(mut w) => {
+            use std::io::Write as _;
+            if let Err(e) = w.flush() {
+                eprintln!("cannot flush {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "receiver decision: {:?} | rounds: {} | decider spans: {}",
+        out.decision(inst.receiver()),
+        out.metrics.rounds,
+        spans.len() / 2,
+    );
+    println!("decider counters:");
+    println!("{}", reg.render());
+    println!("try: rmt-trace profile trace_profile.jsonl");
+    ExitCode::SUCCESS
+}
+
+fn profile(path: &str) -> ExitCode {
+    let events = match load(path) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut printed = false;
+    match span_tree(&events) {
+        Ok(roots) if !roots.is_empty() => {
+            println!("phase spans:");
+            print!("{}", render_span_tree(&roots));
+            printed = true;
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("malformed span stream in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if events
+        .iter()
+        .any(|e| matches!(e, RunEvent::RoundEnd { .. }))
+    {
+        if printed {
+            println!();
+        }
+        println!("round profile:");
+        print!("{}", render_round_profile(&events));
+        printed = true;
+    }
+    let wire = WireStats::from_events(&events);
+    if wire.total().messages > 0 {
+        if printed {
+            println!();
+        }
+        println!("wire bill:");
+        print!("{}", wire.render());
+        printed = true;
+    }
+    if !printed {
+        println!("no profiling data in {path} (no spans, rounds or wire traffic)");
+    }
     ExitCode::SUCCESS
 }
 

@@ -18,7 +18,7 @@ use rmt_core::sampling::{random_instance_nonadjacent, threshold_instance};
 use rmt_core::{Instance, KnowledgeCache};
 use rmt_graph::generators::{self, seeded};
 use rmt_graph::ViewKind;
-use rmt_obs::{Json, Registry};
+use rmt_obs::{Clock, Json, Profiler, Registry};
 use rmt_sets::NodeSet;
 use rmt_sim::{Metrics, SilentAdversary};
 
@@ -129,6 +129,47 @@ fn workload_is_identical_for_every_thread_count() {
     for threads in [2, 8, configured_threads()] {
         let run = run_workload(threads);
         assert_eq!(baseline, run, "divergence at {threads} threads");
+    }
+}
+
+#[test]
+fn virtual_clock_snapshots_are_byte_identical_across_thread_counts() {
+    // Under the virtual clock even the `*_ns` histograms — and the phase
+    // span stream — must be byte-for-byte reproducible at every thread
+    // count: timestamps become pure functions of the (sequentialised)
+    // instrumentation call sequence.
+    let snapshot = |threads: usize| {
+        let reg = Registry::new().with_clock(Clock::virtual_ns(17));
+        let prof = Profiler::new(reg.clock());
+        reg.attach_profiler(prof.clone());
+        let mut rng = seeded(0xDE9);
+        let inst = random_instance_nonadjacent(7, 0.4, ViewKind::AdHoc, 3, 2, &mut rng);
+        let mut witnesses = vec![
+            format!("{:?}", find_rmt_cut_par_observed(&inst, &reg, threads)),
+            format!(
+                "{:?}",
+                find_rmt_cut_anchored_par_observed(&inst, &reg, threads)
+            ),
+            format!(
+                "{:?}",
+                zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads)
+            ),
+        ];
+        witnesses.push(format!("{:?}", prof.events()));
+        // NO strip_wall_clock here: the full snapshot, timings included.
+        (witnesses, reg.to_json().encode(), reg.render())
+    };
+    let baseline = snapshot(1);
+    assert!(
+        baseline.1.contains("_ns"),
+        "the snapshot must include timing histograms"
+    );
+    for threads in [2, 8, configured_threads()] {
+        assert_eq!(
+            baseline,
+            snapshot(threads),
+            "divergence at {threads} threads"
+        );
     }
 }
 

@@ -1,0 +1,131 @@
+//! The METRICS.md contract: every metric name the runtime emits must be
+//! documented. An instrumented workload sweeps the deciders, the knowledge
+//! join and the RMT-PKA decision engine, then every name in the resulting
+//! registry snapshot — and every phase-span name in the profiler stream —
+//! must appear backticked in `METRICS.md`. Adding a metric without a
+//! catalog row fails this test.
+
+use rmt_adversary::AdversaryStructure;
+use rmt_core::cuts::{
+    find_rmt_cut_anchored_observed, find_rmt_cut_observed,
+    zpp_cut_by_enumeration_anchored_observed, zpp_cut_by_fixpoint_observed,
+};
+use rmt_core::protocols::pka_decision::{DecisionConfig, ReceiverState};
+use rmt_core::sampling::random_instance_nonadjacent;
+use rmt_core::{Instance, KnowledgeCache};
+use rmt_graph::generators::seeded;
+use rmt_graph::{Graph, ViewKind};
+use rmt_obs::{Clock, Profiler, Registry, RunEvent};
+use rmt_sets::NodeSet;
+
+/// A solvable diamond (𝒵 = {{1}}): the receiver can actually decide, so the
+/// decision-side counters get touched too.
+fn solvable_diamond() -> Instance {
+    let mut g = Graph::new();
+    g.add_edge(0.into(), 1.into());
+    g.add_edge(0.into(), 2.into());
+    g.add_edge(1.into(), 3.into());
+    g.add_edge(2.into(), 3.into());
+    let z = AdversaryStructure::from_sets([NodeSet::singleton(1u32.into())]);
+    Instance::new(g, z, ViewKind::AdHoc, 0.into(), 3.into()).expect("well-formed")
+}
+
+/// Runs every instrumented code path against one registry + profiler and
+/// returns the emitted metric and span names.
+fn emitted_names() -> (Vec<&'static str>, Vec<String>) {
+    let reg = Registry::new().with_clock(Clock::virtual_ns(1));
+    let prof = Profiler::new(reg.clock());
+    reg.attach_profiler(prof.clone());
+
+    // Deciders, on a solvable diamond and on random instances (unsolvable
+    // ones force full scans and the anchored→exhaustive fallback path).
+    let mut instances = vec![solvable_diamond()];
+    for trial in 0..3u64 {
+        let mut rng = seeded(0xCA7 + trial);
+        instances.push(random_instance_nonadjacent(
+            7,
+            0.35,
+            ViewKind::AdHoc,
+            3,
+            2,
+            &mut rng,
+        ));
+    }
+    for inst in &instances {
+        let _ = find_rmt_cut_observed(inst, &reg);
+        let _ = find_rmt_cut_anchored_observed(inst, &reg);
+        let _ = zpp_cut_by_fixpoint_observed(inst, &reg);
+        let _ = zpp_cut_by_enumeration_anchored_observed(inst, &reg);
+        let cache = KnowledgeCache::new(inst);
+        let view = cache.joint_view(inst.graph().nodes());
+        let _ = view.materialize_bounded_par_observed(usize::MAX, 1, &reg);
+    }
+
+    // The RMT-PKA receiver decision engine.
+    let inst = solvable_diamond();
+    let mut state = ReceiverState::new(
+        inst.receiver(),
+        inst.dealer(),
+        inst.graph().clone(),
+        inst.adversary().clone(),
+    );
+    state.ingest_value(7, &[0.into(), 1.into()]);
+    state.ingest_value(7, &[0.into(), 2.into()]);
+    for relay in [1u32, 2] {
+        state.ingest_claim(relay.into(), inst.graph().clone(), inst.adversary().clone());
+    }
+    let _ = state.decide_observed(&DecisionConfig::default(), &reg);
+
+    let spans = prof
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::SpanOpen { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    (reg.metric_names(), spans)
+}
+
+#[test]
+fn every_emitted_metric_is_documented_in_metrics_md() {
+    let catalog = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/METRICS.md"))
+        .expect("METRICS.md sits at the repo root");
+    let (metrics, spans) = emitted_names();
+
+    // Sanity: the workload must actually exercise each subsystem, or the
+    // catalog check would vacuously pass.
+    for expected in [
+        "rmt_cut.candidates_examined",
+        "rmt_cut.search_ns",
+        "rmt_cut.separators_enumerated",
+        "zpp.corruption_sets_checked",
+        "zcpa.sweeps",
+        "pka.selections_examined",
+        "pka.decide_ns",
+        "join.folds",
+    ] {
+        assert!(
+            metrics.contains(&expected),
+            "workload no longer emits {expected}; fix the test workload"
+        );
+    }
+    assert!(
+        spans.iter().any(|s| s == "rmt_cut.anchored.scan"),
+        "workload no longer emits nested phase spans"
+    );
+
+    let mut undocumented: Vec<String> = metrics
+        .iter()
+        .map(|m| (*m).to_string())
+        .chain(spans)
+        .filter(|name| !catalog.contains(&format!("`{name}`")))
+        .collect();
+    undocumented.sort();
+    undocumented.dedup();
+    assert!(
+        undocumented.is_empty(),
+        "metric names emitted at runtime but missing from METRICS.md: {undocumented:?}\n\
+         add a row (backticked name + meaning) to the catalog"
+    );
+}
