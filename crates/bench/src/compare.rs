@@ -573,6 +573,85 @@ mod tests {
     }
 
     #[test]
+    fn v1_string_cells_parse_and_gate_like_v2_objects() {
+        // Schema-v1 artifacts rendered durations and ratios as bare strings
+        // ("316µs", "4.3×"); a v1 baseline must still gate a v2 candidate.
+        let v1 = Json::parse(
+            r#"{"schema": 1, "experiment": "e3_safety",
+                "params": {"seed": "0xE3", "threads": 1},
+                "measurements": [
+                  {"attack": "silent", "WRONG": 0, "verdict": "safe",
+                   "time": "20ms", "speedup": "4.2×"}
+                ],
+                "wall_ns": 5000,
+                "counters": {"rmt_cut.partition_checks": 7,
+                  "rmt_cut.search_ns": {"count": 3, "sum": 20000000, "min": 1,
+                    "max": 20000000, "mean": 1.0, "p50": 1, "p90": 1, "p99": 1}}}"#,
+        )
+        .expect("valid v1 artifact");
+        // Identical values, different encodings: clean pass.
+        let same = artifact("safe", 20_000_000, 7);
+        let report = compare_artifacts(&v1, &same, &CompareConfig::default());
+        assert!(report.findings.is_empty(), "{}", report.render());
+        // A 3× timing inflation gates through the v1 string encoding too.
+        let slow = artifact("safe", 60_000_000, 7);
+        let report = compare_artifacts(&v1, &slow, &CompareConfig::default());
+        assert_eq!(report.hard_count(), 1, "{}", report.render());
+        assert!(report.render().contains("timing regression"));
+        // Ratio drift via the "×" suffix form stays soft.
+        let fast_ratio = Json::parse(
+            &artifact("safe", 20_000_000, 7)
+                .encode()
+                .replace("4.2", "9.9"),
+        )
+        .unwrap();
+        let report = compare_artifacts(&v1, &fast_ratio, &CompareConfig::default());
+        assert_eq!(report.hard_count(), 0, "{}", report.render());
+        assert_eq!(report.soft_count(), 1);
+        assert!(report.render().contains("ratio drifted"));
+    }
+
+    #[test]
+    fn missing_counters_are_soft_in_both_directions() {
+        let a = artifact("safe", 20_000_000, 7);
+        let mut b = artifact("safe", 20_000_000, 7);
+        if let Some(Json::Obj(counters)) = {
+            if let Json::Obj(pairs) = &mut b {
+                pairs
+                    .iter_mut()
+                    .find(|(k, _)| k == "counters")
+                    .map(|(_, v)| v)
+            } else {
+                None
+            }
+        } {
+            counters.retain(|(k, _)| k != "rmt_cut.partition_checks");
+            counters.push(("hunt.candidates_executed".to_string(), Json::Int(48)));
+        }
+        let report = compare_artifacts(&a, &b, &CompareConfig::default());
+        assert_eq!(report.hard_count(), 0, "{}", report.render());
+        assert_eq!(report.soft_count(), 2);
+        let rendered = report.render();
+        assert!(rendered.contains("counters.rmt_cut.partition_checks: missing from candidate"));
+        assert!(rendered.contains("counters.hunt.candidates_executed: missing from baseline"));
+        // Soft-only reports pass the default gate but not --strict.
+        assert!(report.passed(false));
+        assert!(!report.passed(true));
+    }
+
+    #[test]
+    fn numeric_verdict_columns_drift_hard() {
+        // WRONG counts are verdict columns: 0 → 1 is exactly the regression
+        // the gate exists to catch, regardless of timing.
+        let a = artifact("safe", 20_000_000, 7);
+        let b = Json::parse(&a.encode().replace("\"WRONG\":0", "\"WRONG\":1")).unwrap();
+        let report = compare_artifacts(&a, &b, &CompareConfig::default());
+        assert_eq!(report.hard_count(), 1, "{}", report.render());
+        assert!(report.render().contains("measurements[0].WRONG"));
+        assert!(!report.passed(false));
+    }
+
+    #[test]
     fn legacy_wall_ns_still_gates() {
         let mk = |ns: i64| {
             Json::parse(&format!(

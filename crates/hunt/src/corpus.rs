@@ -1,0 +1,204 @@
+//! The committed counterexample corpus.
+//!
+//! Every violation the hunter minimizes can be *promoted*: written as a
+//! small JSON fixture pinning the instance recipe, the dealer input, the
+//! minimized genome and the verdict it produced. A regression test replays
+//! the whole corpus on every `cargo test` run, so a scheduler or protocol
+//! change that silently alters any recorded outcome — in either direction —
+//! fails loudly with the fixture name attached.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rmt_core::Value;
+use rmt_net::codec::{field, u64_from_json, u64_to_json};
+use rmt_net::PlanError;
+use rmt_obs::Json;
+
+use crate::genome::AttackGenome;
+use crate::search::{execute, RunReport, Verdict};
+use crate::spec::InstanceSpec;
+
+/// The fixture format version this build writes and reads.
+pub const SCHEMA: i64 = 1;
+
+/// One committed counterexample.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Corpus-unique name (the file stem on disk).
+    pub name: String,
+    /// Recipe for the instance the attack runs on.
+    pub spec: InstanceSpec,
+    /// The dealer's input value.
+    pub input: Value,
+    /// The minimized attack genome.
+    pub genome: AttackGenome,
+    /// The verdict recorded at promotion time.
+    pub verdict: Verdict,
+}
+
+impl Fixture {
+    /// Serializes the fixture.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Int(SCHEMA)),
+            ("name", Json::Str(self.name.clone())),
+            ("spec", self.spec.to_json()),
+            ("input", u64_to_json(self.input)),
+            ("genome", self.genome.to_json()),
+            ("verdict", Json::Str(self.verdict.as_str().to_string())),
+        ])
+    }
+
+    /// Decodes and validates a fixture.
+    pub fn from_json(v: &Json) -> Result<Self, PlanError> {
+        match v.get("schema") {
+            Some(Json::Int(n)) if *n == SCHEMA => {}
+            Some(Json::Int(n)) => {
+                return Err(PlanError::new(
+                    "schema",
+                    format!("unsupported corpus schema {n} (this build reads {SCHEMA})"),
+                ))
+            }
+            _ => return Err(PlanError::new("schema", "expected an integer")),
+        }
+        let name = field(v, "name", "")?
+            .as_str()
+            .ok_or_else(|| PlanError::new("name", "expected a string"))?
+            .to_string();
+        let spec = InstanceSpec::from_json(field(v, "spec", "")?, "spec.")?;
+        let input = u64_from_json(field(v, "input", "")?, "input")?;
+        let genome = AttackGenome::from_json(field(v, "genome", "")?)?;
+        let verdict = Verdict::parse(
+            field(v, "verdict", "")?
+                .as_str()
+                .ok_or_else(|| PlanError::new("verdict", "expected a string"))?,
+            "verdict",
+        )?;
+        Ok(Fixture {
+            name,
+            spec,
+            input,
+            genome,
+            verdict,
+        })
+    }
+
+    /// Parses a fixture from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, PlanError> {
+        let v = Json::parse(text)
+            .map_err(|e| PlanError::new("fixture", format!("invalid JSON: {e:?}")))?;
+        Fixture::from_json(&v)
+    }
+
+    /// Rebuilds the instance and re-executes the genome, returning the
+    /// fresh report (compare its verdict against [`Fixture::verdict`]).
+    pub fn replay(&self) -> RunReport {
+        execute(&self.spec.build(), self.input, &self.genome)
+    }
+
+    /// Writes the fixture as `<dir>/<name>.json` (pretty-stable: one
+    /// canonical `encode` line plus trailing newline).
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        fs::write(&path, self.to_json().encode() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Loads every `*.json` fixture under `dir`, sorted by file name so replay
+/// order (and any failure output) is stable across filesystems.
+///
+/// A missing directory is an empty corpus, not an error — the corpus is
+/// optional until the first promotion. A present-but-malformed fixture *is*
+/// an error: silently skipping one would un-guard a regression.
+pub fn load_dir(dir: &Path) -> Result<Vec<Fixture>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut fixtures = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let fixture =
+            Fixture::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        fixtures.push(fixture);
+    }
+    Ok(fixtures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Behaviour;
+    use crate::spec::Family;
+    use rmt_core::protocols::attacks::PkaAttack;
+    use rmt_graph::ViewKind;
+    use rmt_net::MessageAdversary;
+    use rmt_sets::NodeSet;
+
+    fn fixture() -> Fixture {
+        let spec = InstanceSpec {
+            family: Family::E3,
+            n: 6,
+            view: ViewKind::AdHoc,
+            seed: 11,
+        };
+        let receiver = spec.build().receiver();
+        let mut genome = AttackGenome::bare(Behaviour::Pka(PkaAttack::Silent));
+        genome.suppression = Some(MessageAdversary::focused(1, NodeSet::singleton(receiver)));
+        Fixture {
+            name: "stall_suppress_receiver".to_string(),
+            spec,
+            input: 7,
+            genome,
+            verdict: Verdict::Stalled,
+        }
+    }
+
+    #[test]
+    fn fixtures_round_trip_through_json() {
+        let f = fixture();
+        let back = Fixture::from_json_str(&f.to_json().encode()).unwrap();
+        assert_eq!(back.name, f.name);
+        assert_eq!(back.spec, f.spec);
+        assert_eq!(back.input, f.input);
+        assert_eq!(back.genome, f.genome);
+        assert_eq!(back.verdict, f.verdict);
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_rejected() {
+        let mut text = fixture().to_json().encode();
+        text = text.replacen("\"schema\":1", "\"schema\":99", 1);
+        let err = Fixture::from_json_str(&text).unwrap_err();
+        assert!(err.field.contains("schema"), "got {err}");
+    }
+
+    #[test]
+    fn save_load_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rmt_hunt_corpus_{}", std::process::id()));
+        let f = fixture();
+        f.save(&dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].genome, f.genome);
+        assert_eq!(loaded[0].replay().verdict, f.verdict);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_corpus_directory_is_empty() {
+        assert!(load_dir(Path::new("/nonexistent/rmt/corpus"))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Coverage signatures: the novelty signal steering the hunt.
+//!
+//! A run's [`Signature`] is the set of coarse behavioural *features* it
+//! exhibited — which event kinds fired in which round buckets, how the run
+//! terminated, how much of each fault class the network inflicted, how many
+//! nodes decided. Exact traces would make every candidate "novel" (payload
+//! strings embed values and seeds); features deliberately bucket away that
+//! noise so two runs count as different only when the *shape* of the
+//! execution differs. A candidate whose signature adds no unseen feature
+//! teaches the hunter nothing and is not retained in the mutation pool.
+
+use std::collections::BTreeSet;
+
+use rmt_net::{FaultStats, Termination};
+use rmt_obs::RunEvent;
+
+use crate::search::Verdict;
+
+/// The feature set one execution exhibited.
+///
+/// Ordered and deduplicated (a `BTreeSet`), so equal behaviour yields equal
+/// signatures regardless of event multiplicity or ordering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature(BTreeSet<String>);
+
+impl Signature {
+    /// Distils the signature of a finished run from its event stream,
+    /// fault account, termination mode, verdict and decided-node count.
+    pub fn distill(
+        events: &[RunEvent],
+        faults: &FaultStats,
+        termination: &Termination,
+        verdict: Verdict,
+        decided: usize,
+    ) -> Signature {
+        let mut features = BTreeSet::new();
+        for ev in events {
+            if let Some((kind, round)) = kind_and_round(ev) {
+                features.insert(format!("ev:{kind}@r{}", round_bucket(round)));
+            }
+        }
+        features.insert(format!("verdict:{}", verdict.as_str()));
+        features.insert(match termination {
+            Termination::Quiesced { .. } => "term:quiesced".to_string(),
+            Termination::Stalled { .. } => "term:stalled".to_string(),
+        });
+        for (name, count) in fault_tallies(faults) {
+            if count > 0 {
+                features.insert(format!("fault:{name}:{}", log2_bucket(count)));
+            }
+        }
+        features.insert(format!("decided:{}", log2_bucket(decided as u64)));
+        Signature(features)
+    }
+
+    /// The features of `self` absent from `seen`.
+    pub fn novel_against(&self, seen: &BTreeSet<String>) -> Vec<String> {
+        self.0
+            .iter()
+            .filter(|f| !seen.contains(*f))
+            .cloned()
+            .collect()
+    }
+
+    /// Iterates the features.
+    pub fn features(&self) -> impl Iterator<Item = &str> {
+        self.0.iter().map(String::as_str)
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when no feature was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The event's feature name plus its round, for the kinds worth tracking.
+/// Profiling spans and round bookkeeping carry no attack-relevant shape.
+fn kind_and_round(ev: &RunEvent) -> Option<(&'static str, u32)> {
+    match ev {
+        RunEvent::HonestSend { round, .. } => Some(("honest_send", *round)),
+        RunEvent::AdversarialSend { round, .. } => Some(("adversarial_send", *round)),
+        RunEvent::RejectedSend { round, .. } => Some(("rejected_send", *round)),
+        RunEvent::Delivery { round, .. } => Some(("delivery", *round)),
+        RunEvent::FaultDrop { round, reason, .. } => Some((reason.as_str(), *round)),
+        RunEvent::FaultDelay { round, .. } => Some(("delay", *round)),
+        RunEvent::FaultDuplicate { round, .. } => Some(("duplicate", *round)),
+        RunEvent::NodeCrashed { round, .. } => Some(("crash", *round)),
+        RunEvent::Decision { round, .. } => Some(("decision", *round)),
+        RunEvent::RunStart { .. }
+        | RunEvent::RoundStart { .. }
+        | RunEvent::RoundEnd { .. }
+        | RunEvent::SpanOpen { .. }
+        | RunEvent::SpanClose { .. }
+        | RunEvent::RunEnd { .. } => None,
+    }
+}
+
+/// Rounds 0–3 are individually meaningful (protocol phases live there);
+/// later rounds blur together.
+fn round_bucket(round: u32) -> &'static str {
+    match round {
+        0 => "0",
+        1 => "1",
+        2 => "2",
+        3 => "3",
+        4..=7 => "4-7",
+        _ => "8+",
+    }
+}
+
+/// Power-of-two magnitude bucket: 0, 1, 2, 4, 8, ... Collapses "dropped 37
+/// messages" and "dropped 52" into one feature while separating orders of
+/// magnitude.
+fn log2_bucket(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        1 << (63 - n.leading_zeros())
+    }
+}
+
+fn fault_tallies(f: &FaultStats) -> [(&'static str, u64); 6] {
+    [
+        ("dropped", f.dropped),
+        ("partitioned", f.partitioned),
+        ("crashed_sender", f.crashed_sender),
+        ("suppressed", f.suppressed),
+        ("delayed", f.delayed),
+        ("duplicated", f.duplicated),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_collapse_magnitudes() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(37), 32);
+        assert_eq!(log2_bucket(52), 32);
+        assert_eq!(round_bucket(2), "2");
+        assert_eq!(round_bucket(5), "4-7");
+        assert_eq!(round_bucket(40), "8+");
+    }
+
+    #[test]
+    fn signatures_ignore_event_multiplicity_and_order() {
+        let a = RunEvent::Delivery {
+            round: 1,
+            from: 0,
+            to: 1,
+            payload: "x".into(),
+        };
+        let b = RunEvent::HonestSend {
+            round: 0,
+            from: 1,
+            to: 0,
+            bits: 8,
+            payload: "y".into(),
+        };
+        let mut s1 = BTreeSet::new();
+        for ev in [&a, &b, &a, &a] {
+            if let Some((kind, round)) = kind_and_round(ev) {
+                s1.insert(format!("ev:{kind}@r{}", round_bucket(round)));
+            }
+        }
+        let mut s2 = BTreeSet::new();
+        for ev in [&b, &a] {
+            if let Some((kind, round)) = kind_and_round(ev) {
+                s2.insert(format!("ev:{kind}@r{}", round_bucket(round)));
+            }
+        }
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+}

@@ -1,0 +1,591 @@
+//! The attack genome: a serializable, mutable, shrinkable attack recipe.
+//!
+//! One genome composes everything an adversary controls in a run: a
+//! Byzantine behaviour template (one of `rmt-core`'s named attacks driven
+//! through `sim::adversary`), which admissible corruption set executes it,
+//! a probabilistic [`FaultPlan`], and an optional budgeted
+//! [`MessageAdversary`]. The hunter explores this space by seeded
+//! *mutation* and reduces found violations by proptest-style *shrinking*:
+//! repeatedly trying strictly simpler genomes (by [`AttackGenome::
+//! complexity`]) and keeping any that still reproduce the violation, so
+//! every corpus fixture is a local minimum — remove anything else and the
+//! attack stops working.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use rmt_core::protocols::attacks::{PkaAttack, ZcpaAttack, PKA_ATTACKS, ZCPA_ATTACKS};
+use rmt_core::Instance;
+use rmt_net::codec::{field, u64_from_json, u64_to_json};
+use rmt_net::{FaultPlan, LinkPolicy, MessageAdversary, Partition, PlanError};
+use rmt_obs::Json;
+use rmt_sets::{NodeId, NodeSet};
+
+/// The Byzantine behaviour template, tagged by protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behaviour {
+    /// An RMT-PKA attack from `rmt-core`'s named catalogue.
+    Pka(PkaAttack),
+    /// A Z-CPA attack.
+    Zcpa(ZcpaAttack),
+}
+
+impl Behaviour {
+    /// The protocol this behaviour targets.
+    pub fn protocol(&self) -> &'static str {
+        match self {
+            Behaviour::Pka(_) => "rmt-pka",
+            Behaviour::Zcpa(_) => "z-cpa",
+        }
+    }
+
+    /// `true` for the omission (do-nothing) attacks.
+    pub fn is_silent(&self) -> bool {
+        matches!(
+            self,
+            Behaviour::Pka(PkaAttack::Silent) | Behaviour::Zcpa(ZcpaAttack::Silent)
+        )
+    }
+
+    /// The omission attack of the same protocol (the simplest behaviour,
+    /// used as a shrink target).
+    pub fn silenced(&self) -> Behaviour {
+        match self {
+            Behaviour::Pka(_) => Behaviour::Pka(PkaAttack::Silent),
+            Behaviour::Zcpa(_) => Behaviour::Zcpa(ZcpaAttack::Silent),
+        }
+    }
+
+    /// The next behaviour in the protocol's attack catalogue (cyclic).
+    pub fn cycled(&self) -> Behaviour {
+        match self {
+            Behaviour::Pka(a) => {
+                let i = PKA_ATTACKS.iter().position(|x| x == a).unwrap_or(0);
+                Behaviour::Pka(PKA_ATTACKS[(i + 1) % PKA_ATTACKS.len()])
+            }
+            Behaviour::Zcpa(a) => {
+                let i = ZCPA_ATTACKS.iter().position(|x| x == a).unwrap_or(0);
+                Behaviour::Zcpa(ZCPA_ATTACKS[(i + 1) % ZCPA_ATTACKS.len()])
+            }
+        }
+    }
+
+    /// Serializes the behaviour.
+    pub fn to_json(&self) -> Json {
+        let attack = match self {
+            Behaviour::Pka(a) => a.to_string(),
+            Behaviour::Zcpa(a) => a.to_string(),
+        };
+        Json::obj([
+            ("protocol", Json::Str(self.protocol().to_string())),
+            ("attack", Json::Str(attack)),
+        ])
+    }
+
+    /// Decodes a behaviour; `at` prefixes error paths.
+    pub fn from_json(v: &Json, at: &str) -> Result<Self, PlanError> {
+        let protocol_at = format!("{at}protocol");
+        let protocol = field(v, "protocol", at)?
+            .as_str()
+            .ok_or_else(|| PlanError::new(&protocol_at, "expected a string"))?;
+        let attack_at = format!("{at}attack");
+        let attack = field(v, "attack", at)?
+            .as_str()
+            .ok_or_else(|| PlanError::new(&attack_at, "expected a string"))?;
+        match protocol {
+            "rmt-pka" => PKA_ATTACKS
+                .iter()
+                .find(|a| a.to_string() == attack)
+                .map(|&a| Behaviour::Pka(a))
+                .ok_or_else(|| {
+                    PlanError::new(&attack_at, format!("unknown rmt-pka attack {attack:?}"))
+                }),
+            "z-cpa" => ZCPA_ATTACKS
+                .iter()
+                .find(|a| a.to_string() == attack)
+                .map(|&a| Behaviour::Zcpa(a))
+                .ok_or_else(|| {
+                    PlanError::new(&attack_at, format!("unknown z-cpa attack {attack:?}"))
+                }),
+            _ => Err(PlanError::new(
+                &protocol_at,
+                format!("unknown protocol {protocol:?}"),
+            )),
+        }
+    }
+}
+
+/// One complete attack recipe against a fixed instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttackGenome {
+    /// The Byzantine behaviour template.
+    pub behaviour: Behaviour,
+    /// Which admissible corruption set executes it: an index into
+    /// `Instance::worst_case_corruptions()` (mod its length).
+    pub corruption_index: u32,
+    /// Seed for randomized Byzantine strategies.
+    pub attack_seed: u64,
+    /// The probabilistic fault schedule.
+    pub plan: FaultPlan,
+    /// The budgeted message adversary, if any.
+    pub suppression: Option<MessageAdversary>,
+}
+
+impl AttackGenome {
+    /// The plainest genome: a behaviour on a transparent network.
+    pub fn bare(behaviour: Behaviour) -> Self {
+        AttackGenome {
+            behaviour,
+            corruption_index: 0,
+            attack_seed: 0,
+            plan: FaultPlan::new(0),
+            suppression: None,
+        }
+    }
+
+    /// Resolves the corruption set against `inst` (empty if the structure
+    /// admits no corruption away from the endpoints).
+    pub fn corruption(&self, inst: &Instance) -> NodeSet {
+        let sets = inst.worst_case_corruptions();
+        if sets.is_empty() {
+            return NodeSet::new();
+        }
+        sets[self.corruption_index as usize % sets.len()].clone()
+    }
+
+    /// A coarse size measure driving the shrinker: strictly smaller means
+    /// strictly simpler, and the empty-handed genome (silent behaviour,
+    /// transparent plan, no suppression) scores 0.
+    pub fn complexity(&self) -> u64 {
+        fn policy_weight(p: &LinkPolicy) -> u64 {
+            u64::from(p.drop > 0.0) * 2
+                + u64::from(p.delay > 0.0 && p.max_delay > 0) * 2
+                + u64::from(p.duplicate > 0.0)
+                + u64::from(p.reorder)
+        }
+        let mut c = 0u64;
+        if !self.behaviour.is_silent() {
+            c += 2;
+        }
+        if self.attack_seed != 0 {
+            c += 1;
+        }
+        if self.corruption_index != 0 {
+            c += 1;
+        }
+        c += policy_weight(self.plan.default_policy());
+        c += self
+            .plan
+            .link_overrides()
+            .iter()
+            .map(|(_, p)| 1 + policy_weight(p))
+            .sum::<u64>();
+        c += 2 * self.plan.crash_schedule().len() as u64;
+        c += 3 * self.plan.partitions().len() as u64;
+        if let Some(s) = &self.suppression {
+            c += 2 + u64::from(s.budget()) + s.focus().len() as u64 + u64::from(s.spill());
+        }
+        c
+    }
+
+    /// A seeded random variant: one (occasionally two) of the mutation
+    /// operators below, resolved against `inst` for node choices. Pure in
+    /// `(self, rng state, inst)`.
+    pub fn mutate(&self, rng: &mut ChaCha12Rng, inst: &Instance) -> AttackGenome {
+        let mut next = self.clone();
+        let ops = 1 + usize::from(rng.random_bool(0.3));
+        for _ in 0..ops {
+            next = next.mutate_once(rng, inst);
+        }
+        next
+    }
+
+    fn mutate_once(&self, rng: &mut ChaCha12Rng, inst: &Instance) -> AttackGenome {
+        let mut next = self.clone();
+        // Relay nodes (neither dealer nor receiver) for crashes/partitions:
+        // killing an endpoint trivially breaks liveness and teaches nothing.
+        let relays: Vec<NodeId> = inst
+            .graph()
+            .nodes()
+            .iter()
+            .filter(|&v| v != inst.dealer() && v != inst.receiver())
+            .collect();
+        match rng.random_range(0u32..13) {
+            0 => next.behaviour = next.behaviour.cycled(),
+            1 => next.corruption_index = rng.random_range(0u32..4),
+            2 => next.attack_seed = rng.next_u64(),
+            3 => next.plan = next.plan.with_seed(rng.next_u64()),
+            4 => {
+                let drop = [0.0, 0.1, 0.3, 0.6, 1.0][rng.random_range(0usize..5)];
+                let p = LinkPolicy {
+                    drop,
+                    ..*next.plan.default_policy()
+                };
+                next.plan = next.plan.with_default_policy(p);
+            }
+            5 => {
+                let delay = [0.0, 0.3, 0.7, 1.0][rng.random_range(0usize..4)];
+                let max_delay = rng.random_range(1u32..=3);
+                let p = LinkPolicy {
+                    delay,
+                    max_delay,
+                    ..*next.plan.default_policy()
+                };
+                next.plan = next.plan.with_default_policy(p);
+            }
+            6 => {
+                let p = LinkPolicy {
+                    duplicate: if next.plan.default_policy().duplicate > 0.0 {
+                        0.0
+                    } else {
+                        0.25
+                    },
+                    ..*next.plan.default_policy()
+                };
+                next.plan = next.plan.with_default_policy(p);
+            }
+            7 => {
+                let p = LinkPolicy {
+                    reorder: !next.plan.default_policy().reorder,
+                    ..*next.plan.default_policy()
+                };
+                next.plan = next.plan.with_default_policy(p);
+            }
+            8 => {
+                // Sever one directed edge outright.
+                let edges: Vec<(NodeId, NodeId)> = inst
+                    .graph()
+                    .nodes()
+                    .iter()
+                    .flat_map(|u| inst.graph().neighbors(u).iter().map(move |w| (u, w)))
+                    .collect();
+                if !edges.is_empty() {
+                    let (u, w) = edges[rng.random_range(0usize..edges.len())];
+                    next.plan = next.plan.with_link(
+                        u,
+                        w,
+                        LinkPolicy {
+                            drop: 1.0,
+                            ..LinkPolicy::default()
+                        },
+                    );
+                }
+            }
+            9 => {
+                if !relays.is_empty() {
+                    let v = relays[rng.random_range(0usize..relays.len())];
+                    next.plan = next.plan.with_crash(v, rng.random_range(0u32..4));
+                }
+            }
+            10 => {
+                if !relays.is_empty() {
+                    let v = relays[rng.random_range(0usize..relays.len())];
+                    let from_round = rng.random_range(0u32..3);
+                    next.plan = next.plan.with_partition(Partition {
+                        from_round,
+                        to_round: from_round + rng.random_range(0u32..4),
+                        side: NodeSet::singleton(v),
+                    });
+                }
+            }
+            11 => {
+                next.suppression = Some(match next.suppression.take() {
+                    None => MessageAdversary::focused(
+                        rng.random_range(1u32..=3),
+                        NodeSet::singleton(inst.receiver()),
+                    ),
+                    Some(s) => {
+                        let b = s.budget();
+                        s.with_budget(if rng.random_bool(0.5) {
+                            b + 1
+                        } else {
+                            b.saturating_sub(1)
+                        })
+                    }
+                });
+            }
+            _ => match next.suppression.take() {
+                None => {
+                    next.suppression = Some(
+                        MessageAdversary::new(rng.random_range(1u32..=2))
+                            .with_window(0, rng.random_range(2u32..8)),
+                    );
+                }
+                Some(s) => {
+                    // Toggle spill, grow the focus, or drop the suppressor.
+                    next.suppression = match rng.random_range(0u32..3) {
+                        0 => Some(s.clone().with_spill(!s.spill())),
+                        1 => {
+                            let mut focus = s.focus().clone();
+                            if let Some(extra) = relays
+                                .get(
+                                    rng.random_range(0usize..relays.len().max(1))
+                                        % relays.len().max(1),
+                                )
+                                .copied()
+                                .filter(|_| !relays.is_empty())
+                            {
+                                focus.insert(extra);
+                            }
+                            Some(s.with_focus(focus))
+                        }
+                        _ => None,
+                    };
+                }
+            },
+        }
+        next
+    }
+
+    /// Strictly simpler variants to try while a violation still reproduces,
+    /// roughly ordered most-aggressive first (the shrinker takes the first
+    /// candidate that keeps the verdict, then starts over).
+    pub fn shrink_candidates(&self) -> Vec<AttackGenome> {
+        let mut out = Vec::new();
+        let mut push = |g: AttackGenome| {
+            if g.complexity() < self.complexity() {
+                out.push(g);
+            }
+        };
+
+        if !self.behaviour.is_silent() {
+            let mut g = self.clone();
+            g.behaviour = g.behaviour.silenced();
+            push(g);
+        }
+        if self.suppression.is_some() {
+            let mut g = self.clone();
+            g.suppression = None;
+            push(g);
+        }
+        if !self.plan.link_overrides().is_empty() {
+            let mut g = self.clone();
+            g.plan = rebuild_plan(&self.plan, RebuildDrop::Links);
+            push(g);
+        }
+        if !self.plan.default_policy().is_transparent() {
+            let mut g = self.clone();
+            g.plan = self
+                .plan
+                .clone()
+                .with_default_policy(LinkPolicy::transparent());
+            push(g);
+        }
+        if !self.plan.crash_schedule().is_empty() {
+            let mut g = self.clone();
+            g.plan = rebuild_plan(&self.plan, RebuildDrop::Crashes);
+            push(g);
+        }
+        if !self.plan.partitions().is_empty() {
+            let mut g = self.clone();
+            g.plan = rebuild_plan(&self.plan, RebuildDrop::Partitions);
+            push(g);
+        }
+        if let Some(s) = &self.suppression {
+            if s.budget() > 1 {
+                let mut g = self.clone();
+                g.suppression = Some(s.clone().with_budget(s.budget() - 1));
+                push(g);
+            }
+            if s.spill() {
+                let mut g = self.clone();
+                g.suppression = Some(s.clone().with_spill(false));
+                push(g);
+            }
+            if s.focus().len() > 1 {
+                let mut g = self.clone();
+                let mut focus = s.focus().clone();
+                if let Some(first) = focus.iter().next() {
+                    focus.remove(first);
+                }
+                g.suppression = Some(s.clone().with_focus(focus));
+                push(g);
+            }
+        }
+        if self.attack_seed != 0 {
+            let mut g = self.clone();
+            g.attack_seed = 0;
+            push(g);
+        }
+        if self.corruption_index != 0 {
+            let mut g = self.clone();
+            g.corruption_index = 0;
+            push(g);
+        }
+        out
+    }
+
+    /// Serializes the genome.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("behaviour", self.behaviour.to_json()),
+            (
+                "corruption_index",
+                Json::Int(i64::from(self.corruption_index)),
+            ),
+            ("attack_seed", u64_to_json(self.attack_seed)),
+            ("plan", self.plan.to_json()),
+            (
+                "suppression",
+                self.suppression
+                    .as_ref()
+                    .map_or(Json::Null, MessageAdversary::to_json),
+            ),
+        ])
+    }
+
+    /// Decodes and validates a genome.
+    pub fn from_json(v: &Json) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new("genome", "expected an object"));
+        }
+        let behaviour = Behaviour::from_json(field(v, "behaviour", "")?, "behaviour.")?;
+        let corruption_index = match v.get("corruption_index") {
+            None => 0,
+            Some(Json::Int(n)) if *n >= 0 => *n as u32,
+            Some(_) => {
+                return Err(PlanError::new(
+                    "corruption_index",
+                    "expected a non-negative integer",
+                ))
+            }
+        };
+        let attack_seed = v
+            .get("attack_seed")
+            .map_or(Ok(0), |s| u64_from_json(s, "attack_seed"))?;
+        let plan = FaultPlan::from_json(field(v, "plan", "")?)?;
+        let suppression = match v.get("suppression") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(MessageAdversary::from_json(s, "suppression.")?),
+        };
+        Ok(AttackGenome {
+            behaviour,
+            corruption_index,
+            attack_seed,
+            plan,
+            suppression,
+        })
+    }
+}
+
+enum RebuildDrop {
+    Links,
+    Crashes,
+    Partitions,
+}
+
+/// Rebuilds a plan minus one fault class (FaultPlan has no removers: its
+/// combinators only add, which keeps the type honest for users — the
+/// shrinker reconstructs instead).
+fn rebuild_plan(plan: &FaultPlan, drop: RebuildDrop) -> FaultPlan {
+    let mut out = FaultPlan::new(plan.seed()).with_default_policy(*plan.default_policy());
+    if !matches!(drop, RebuildDrop::Links) {
+        for ((f, t), p) in plan.link_overrides() {
+            out = out.with_link(f, t, p);
+        }
+    }
+    if !matches!(drop, RebuildDrop::Crashes) {
+        for (v, r) in plan.crash_schedule() {
+            out = out.with_crash(v, r);
+        }
+    }
+    if !matches!(drop, RebuildDrop::Partitions) {
+        for p in plan.partitions() {
+            out = out.with_partition(p.clone());
+        }
+    }
+    out
+}
+
+/// Builds the deterministic mutation RNG for `(hunt_seed, candidate index)`.
+pub fn mutation_rng(hunt_seed: u64, index: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(hunt_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Family, InstanceSpec};
+    use rmt_graph::ViewKind;
+
+    fn genome() -> AttackGenome {
+        AttackGenome {
+            behaviour: Behaviour::Pka(PkaAttack::ForgeTrails),
+            corruption_index: 2,
+            attack_seed: 0xA77AC4,
+            plan: FaultPlan::new(5)
+                .with_default_policy(LinkPolicy {
+                    drop: 0.3,
+                    ..LinkPolicy::default()
+                })
+                .with_crash(2.into(), 1),
+            suppression: Some(MessageAdversary::focused(2, NodeSet::singleton(5.into()))),
+        }
+    }
+
+    #[test]
+    fn genomes_round_trip_through_json() {
+        let g = genome();
+        let back = AttackGenome::from_json(&Json::parse(&g.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, g);
+        let bare = AttackGenome::bare(Behaviour::Zcpa(ZcpaAttack::Equivocate));
+        let back =
+            AttackGenome::from_json(&Json::parse(&bare.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, bare);
+    }
+
+    #[test]
+    fn complexity_is_zero_only_for_the_empty_handed_genome() {
+        let mut bare = AttackGenome::bare(Behaviour::Pka(PkaAttack::Silent));
+        assert_eq!(bare.complexity(), 0);
+        assert!(genome().complexity() > 0);
+        bare.suppression = Some(MessageAdversary::new(1));
+        assert!(bare.complexity() > 0);
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler() {
+        let g = genome();
+        let candidates = g.shrink_candidates();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.complexity() < g.complexity());
+        }
+        // The empty-handed genome has nowhere left to go.
+        assert!(AttackGenome::bare(Behaviour::Pka(PkaAttack::Silent))
+            .shrink_candidates()
+            .is_empty());
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_seed() {
+        let inst = InstanceSpec {
+            family: Family::E3,
+            n: 6,
+            view: ViewKind::AdHoc,
+            seed: 3,
+        }
+        .build();
+        let g = genome();
+        let run = || {
+            let mut rng = mutation_rng(0xDEED, 4);
+            (0..10)
+                .map(|_| g.mutate(&mut rng, &inst))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn behaviour_cycling_stays_in_protocol() {
+        let mut b = Behaviour::Pka(PkaAttack::Silent);
+        for _ in 0..PKA_ATTACKS.len() {
+            b = b.cycled();
+            assert_eq!(b.protocol(), "rmt-pka");
+        }
+        assert_eq!(b, Behaviour::Pka(PkaAttack::Silent));
+        assert_eq!(
+            Behaviour::Zcpa(ZcpaAttack::Equivocate).cycled(),
+            Behaviour::Zcpa(ZcpaAttack::Silent)
+        );
+    }
+}

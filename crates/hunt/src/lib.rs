@@ -1,0 +1,60 @@
+//! Coverage-guided attack synthesis for the RMT protocols.
+//!
+//! The theorems of the source paper say *when* reliable message
+//! transmission is possible; the simulator says *whether one run worked*.
+//! This crate closes the gap between them adversarially: instead of
+//! checking the protocols against a handful of hand-written attacks, it
+//! *searches* the attack space for behaviours that break them, and keeps
+//! every counterexample it finds as a permanent regression fixture.
+//!
+//! The pieces:
+//!
+//! * [`InstanceSpec`] — a serializable recipe (family, size, view, seed)
+//!   that deterministically rebuilds the instance an attack was found on;
+//! * [`AttackGenome`] — one complete attack: a Byzantine behaviour
+//!   template from `rmt-core`'s catalogue, the corruption set executing it,
+//!   a probabilistic [`rmt_net::FaultPlan`], and an optional budgeted
+//!   [`rmt_net::MessageAdversary`]. Genomes serialize, mutate under a
+//!   seeded RNG, and shrink proptest-style toward minimal reproducers;
+//! * [`Signature`] — the coverage feedback: a bucketed feature set of what
+//!   a run *did* (event kinds per round band, fault magnitudes, verdict,
+//!   termination), so the search retains behaviourally new candidates and
+//!   discards noise-level variation;
+//! * [`Hunter`] / [`execute`] — the deterministic search loop and the
+//!   single-genome executor classifying runs [`Verdict::Safe`] /
+//!   [`Verdict::Wrong`] / [`Verdict::Stalled`];
+//! * [`Fixture`] / [`corpus::load_dir`] — promotion of minimized
+//!   violations into `tests/corpus/` and their replay in CI.
+//!
+//! Everything is deterministic in `(instance spec, input, hunt seed)`:
+//! the hunt explores the same candidates, finds the same violations, and
+//! minimizes them to byte-identical genomes on every machine.
+//!
+//! # Example
+//!
+//! ```
+//! use rmt_hunt::{AttackGenome, Behaviour, execute, Verdict};
+//! use rmt_hunt::spec::{Family, InstanceSpec};
+//! use rmt_core::protocols::attacks::PkaAttack;
+//! use rmt_graph::ViewKind;
+//!
+//! let spec = InstanceSpec { family: Family::E3, n: 6, view: ViewKind::AdHoc, seed: 11 };
+//! let inst = spec.build();
+//! let genome = AttackGenome::bare(Behaviour::Pka(PkaAttack::Silent));
+//! assert_eq!(execute(&inst, 7, &genome).verdict, Verdict::Safe);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod coverage;
+pub mod genome;
+pub mod search;
+pub mod spec;
+
+pub use corpus::{load_dir, Fixture, SCHEMA};
+pub use coverage::Signature;
+pub use genome::{mutation_rng, AttackGenome, Behaviour};
+pub use search::{execute, HuntConfig, HuntReport, Hunter, RunReport, Verdict, Violation};
+pub use spec::{Family, InstanceSpec};

@@ -1,0 +1,206 @@
+//! Serializable instance recipes.
+//!
+//! Corpus fixtures must rebuild the *exact* instance an attack was found
+//! on, but an [`Instance`] itself (graph + adversary structure + views) has
+//! no serialized form. Instead of inventing one, a fixture stores the
+//! *recipe*: which sampling family, which parameters, which seed. Rebuilding
+//! replays the same deterministic sampler calls the experiments use, so a
+//! spec pins an instance as firmly as a byte dump would — in a dozen bytes.
+
+use rmt_core::sampling::{random_instance, random_instance_nonadjacent};
+use rmt_core::Instance;
+use rmt_graph::generators::seeded;
+use rmt_graph::ViewKind;
+use rmt_net::codec::{field, u32_from_json, u64_from_json, u64_to_json};
+use rmt_net::PlanError;
+use rmt_obs::Json;
+
+/// Which sampling family the instance comes from (the E2/E3 workloads of
+/// EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// `random_instance_nonadjacent(n, 0.35, ..)` — dealer and receiver
+    /// never adjacent, so transmission genuinely crosses the network.
+    E2,
+    /// `random_instance(n, 0.4, ..)` — unconstrained random instances.
+    E3,
+}
+
+impl Family {
+    /// Snake-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::E2 => "e2",
+            Family::E3 => "e3",
+        }
+    }
+
+    fn parse(s: &str, at: &str) -> Result<Self, PlanError> {
+        match s {
+            "e2" => Ok(Family::E2),
+            "e3" => Ok(Family::E3),
+            _ => Err(PlanError::new(at, format!("unknown family {s:?}"))),
+        }
+    }
+}
+
+/// A deterministic recipe for one instance: family, size, view kind, seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceSpec {
+    /// The sampling family.
+    pub family: Family,
+    /// Number of nodes.
+    pub n: usize,
+    /// The knowledge views handed to each node.
+    pub view: ViewKind,
+    /// Seed of the sampler's RNG.
+    pub seed: u64,
+}
+
+impl InstanceSpec {
+    /// Rebuilds the instance by replaying the family's sampler.
+    pub fn build(&self) -> Instance {
+        let mut rng = seeded(self.seed);
+        match self.family {
+            Family::E2 => random_instance_nonadjacent(self.n, 0.35, self.view, 3, 2, &mut rng),
+            Family::E3 => random_instance(self.n, 0.4, self.view, 3, 2, &mut rng),
+        }
+    }
+
+    /// Serializes the spec.
+    pub fn to_json(&self) -> Json {
+        let view = match self.view {
+            ViewKind::Full => Json::Str("full".to_string()),
+            ViewKind::AdHoc => Json::Str("ad_hoc".to_string()),
+            ViewKind::Radius(k) => Json::Str(format!("radius:{k}")),
+        };
+        Json::obj([
+            ("family", Json::Str(self.family.as_str().to_string())),
+            ("n", Json::Int(self.n as i64)),
+            ("view", view),
+            ("seed", u64_to_json(self.seed)),
+        ])
+    }
+
+    /// Decodes and validates a spec; `at` prefixes error paths.
+    pub fn from_json(v: &Json, at: &str) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new(
+                at.trim_end_matches('.'),
+                "expected an object",
+            ));
+        }
+        let family_at = format!("{at}family");
+        let family = Family::parse(
+            field(v, "family", at)?
+                .as_str()
+                .ok_or_else(|| PlanError::new(&family_at, "expected a string"))?,
+            &family_at,
+        )?;
+        let n = u32_from_json(field(v, "n", at)?, &format!("{at}n"))? as usize;
+        if !(2..=64).contains(&n) {
+            return Err(PlanError::new(
+                format!("{at}n"),
+                format!("instance size {n} outside the supported 2..=64"),
+            ));
+        }
+        let view_at = format!("{at}view");
+        let view_str = field(v, "view", at)?
+            .as_str()
+            .ok_or_else(|| PlanError::new(&view_at, "expected a string"))?;
+        let view = if view_str == "ad_hoc" {
+            ViewKind::AdHoc
+        } else if view_str == "full" {
+            ViewKind::Full
+        } else if let Some(k) = view_str.strip_prefix("radius:") {
+            ViewKind::Radius(
+                k.parse()
+                    .map_err(|_| PlanError::new(&view_at, format!("bad radius {view_str:?}")))?,
+            )
+        } else {
+            return Err(PlanError::new(
+                &view_at,
+                format!("unknown view {view_str:?}"),
+            ));
+        };
+        let seed = u64_from_json(field(v, "seed", at)?, &format!("{at}seed"))?;
+        Ok(InstanceSpec {
+            family,
+            n,
+            view,
+            seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_rebuild_identical_instances() {
+        let spec = InstanceSpec {
+            family: Family::E2,
+            n: 7,
+            view: ViewKind::Radius(2),
+            seed: 0xBEEF,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.dealer(), b.dealer());
+        assert_eq!(a.receiver(), b.receiver());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in [
+            InstanceSpec {
+                family: Family::E2,
+                n: 6,
+                view: ViewKind::AdHoc,
+                seed: u64::MAX,
+            },
+            InstanceSpec {
+                family: Family::E3,
+                n: 9,
+                view: ViewKind::Radius(3),
+                seed: 12,
+            },
+        ] {
+            let back =
+                InstanceSpec::from_json(&Json::parse(&spec.to_json().encode()).unwrap(), "spec.")
+                    .unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let reject = |text: &str, needle: &str| {
+            let err = InstanceSpec::from_json(&Json::parse(text).unwrap(), "spec.").unwrap_err();
+            assert!(
+                err.field.contains(needle),
+                "expected field containing {needle:?}, got {err}"
+            );
+        };
+        reject("{}", "family");
+        reject(
+            r#"{"family": "e9", "n": 6, "view": "ad_hoc", "seed": 1}"#,
+            "family",
+        );
+        reject(
+            r#"{"family": "e2", "n": 1, "view": "ad_hoc", "seed": 1}"#,
+            "n",
+        );
+        reject(
+            r#"{"family": "e2", "n": 6, "view": "sphere", "seed": 1}"#,
+            "view",
+        );
+        reject(
+            r#"{"family": "e2", "n": 6, "view": "radius:x", "seed": 1}"#,
+            "view",
+        );
+        reject(r#"{"family": "e2", "n": 6, "view": "ad_hoc"}"#, "seed");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the attack-synthesis machinery.
+//!
+//! The hunt's guarantees are all determinism-shaped, so the properties are
+//! too: arbitrary mutation chains stay serializable, shrinking is strictly
+//! monotone, and re-running anything with the same seeds reproduces it.
+
+use proptest::prelude::*;
+use rmt_core::protocols::attacks::{PkaAttack, ZcpaAttack};
+use rmt_graph::ViewKind;
+use rmt_hunt::{execute, mutation_rng, AttackGenome, Behaviour, Family, InstanceSpec};
+use rmt_obs::Json;
+
+fn arb_spec() -> impl Strategy<Value = InstanceSpec> {
+    (0u32..2, 5usize..9, 0usize..5, any::<u64>()).prop_map(|(fam, n, view, seed)| InstanceSpec {
+        family: if fam == 0 { Family::E2 } else { Family::E3 },
+        n,
+        view: match view {
+            0 => ViewKind::Full,
+            1 => ViewKind::AdHoc,
+            k => ViewKind::Radius(k - 1),
+        },
+        seed,
+    })
+}
+
+fn arb_behaviour() -> impl Strategy<Value = Behaviour> {
+    (0u32..5).prop_map(|i| match i {
+        0 => Behaviour::Pka(PkaAttack::Silent),
+        1 => Behaviour::Pka(PkaAttack::FlipValue),
+        2 => Behaviour::Pka(PkaAttack::ForgeTrails),
+        3 => Behaviour::Zcpa(ZcpaAttack::Silent),
+        _ => Behaviour::Zcpa(ZcpaAttack::Equivocate),
+    })
+}
+
+/// A genome grown by a random mutation chain from a bare start — the same
+/// distribution the hunter actually explores.
+fn mutated_genome(
+    spec: &InstanceSpec,
+    behaviour: Behaviour,
+    seed: u64,
+    steps: u64,
+) -> AttackGenome {
+    let inst = spec.build();
+    let mut genome = AttackGenome::bare(behaviour);
+    for i in 0..steps {
+        let mut rng = mutation_rng(seed, i);
+        genome = genome.mutate(&mut rng, &inst);
+    }
+    genome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every genome the mutator can reach serializes and decodes back to
+    /// itself — the corpus can hold anything the hunt finds.
+    #[test]
+    fn mutated_genomes_round_trip_through_json(
+        spec in arb_spec(),
+        behaviour in arb_behaviour(),
+        seed in any::<u64>(),
+        steps in 0u64..12,
+    ) {
+        let genome = mutated_genome(&spec, behaviour, seed, steps);
+        let text = genome.to_json().encode();
+        let back = AttackGenome::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &genome);
+        // Canonical encoding: decode → encode is a fixpoint.
+        prop_assert_eq!(back.to_json().encode(), text);
+    }
+
+    /// Shrink candidates are strictly simpler than their parent, so the
+    /// greedy shrink loop terminates from any starting genome.
+    #[test]
+    fn shrinking_strictly_decreases_complexity(
+        spec in arb_spec(),
+        behaviour in arb_behaviour(),
+        seed in any::<u64>(),
+        steps in 0u64..12,
+    ) {
+        let genome = mutated_genome(&spec, behaviour, seed, steps);
+        let c = genome.complexity();
+        for candidate in genome.shrink_candidates() {
+            prop_assert!(candidate.complexity() < c);
+        }
+        // And the chain bottoms out: repeatedly taking the first candidate
+        // reaches a genome with no candidates in ≤ c steps.
+        let mut cur = genome;
+        let mut hops = 0u64;
+        while let Some(next) = cur.shrink_candidates().into_iter().next() {
+            cur = next;
+            hops += 1;
+            prop_assert!(hops <= c, "shrink chain exceeded complexity bound");
+        }
+    }
+
+    /// Mutation is a pure function of (parent, seed, instance): replaying
+    /// the same chain reproduces the same genome.
+    #[test]
+    fn mutation_chains_replay_identically(
+        spec in arb_spec(),
+        behaviour in arb_behaviour(),
+        seed in any::<u64>(),
+        steps in 1u64..10,
+    ) {
+        let a = mutated_genome(&spec, behaviour, seed, steps);
+        let b = mutated_genome(&spec, behaviour, seed, steps);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // Execution involves full protocol runs; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Executing a genome twice yields identical verdicts, fault accounts
+    /// and coverage signatures — candidate evaluation is replayable.
+    #[test]
+    fn execution_is_deterministic(
+        spec in arb_spec(),
+        behaviour in arb_behaviour(),
+        seed in any::<u64>(),
+        steps in 0u64..6,
+    ) {
+        let genome = mutated_genome(&spec, behaviour, seed, steps);
+        let inst = spec.build();
+        let a = execute(&inst, 7, &genome);
+        let b = execute(&inst, 7, &genome);
+        prop_assert_eq!(a.verdict, b.verdict);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.faults, b.faults);
+        prop_assert_eq!(a.signature, b.signature);
+        prop_assert_eq!(a.termination, b.termination);
+    }
+}

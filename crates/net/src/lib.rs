@@ -17,9 +17,14 @@
 //!   `(deliver_round, seq)`, and with an *empty* plan the run is
 //!   byte-identical to the synchronous scheduler (event stream, metrics,
 //!   delivery log — enforced by the differential test suite);
-//! * [`NetOutcome`] / [`FaultStats`] — the run result: the usual decisions
-//!   and [`rmt_sim::Metrics`] plus a separate account of what the network
-//!   did.
+//! * [`MessageAdversary`] — the budgeted message-adversary mode (after
+//!   Albouy–Frey–Raynal–Taïani): each round it sees every admitted send and
+//!   erases up to `d` adversarially chosen victims, composing with the
+//!   probabilistic plan;
+//! * [`NetOutcome`] / [`FaultStats`] / [`Termination`] — the run result:
+//!   the usual decisions and [`rmt_sim::Metrics`], a separate account of
+//!   what the network did, and whether the run quiesced or stalled at the
+//!   round cap.
 //!
 //! Fault decisions are visible in the `rmt-obs` event stream as
 //! `FaultDrop` / `FaultDelay` / `FaultDuplicate` / `NodeCrashed` events, so
@@ -55,7 +60,16 @@
 mod plan;
 mod rng;
 mod runner;
+mod suppress;
 
-pub use plan::{FaultPlan, LinkPolicy, Partition};
-pub use rng::FaultRng;
-pub use runner::{FaultStats, NetOutcome, NetRunner};
+pub use plan::{FaultPlan, LinkPolicy, Partition, PlanError};
+/// Low-level JSON codec helpers (shared by downstream fixture formats,
+/// e.g. `rmt-hunt`'s attack genomes).
+pub mod codec {
+    pub use crate::plan::{
+        field, nodeset_from_json, nodeset_to_json, u32_from_json, u64_from_json, u64_to_json,
+    };
+}
+pub use rng::{FaultRng, Salt};
+pub use runner::{FaultStats, NetOutcome, NetRunner, Termination};
+pub use suppress::MessageAdversary;

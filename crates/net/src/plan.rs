@@ -8,8 +8,115 @@
 //! `Runner` checks this byte for byte).
 
 use std::collections::HashMap;
+use std::fmt;
 
+use rmt_obs::Json;
 use rmt_sets::{NodeId, NodeSet};
+
+/// Why a serialized fault plan (or message adversary) was rejected.
+///
+/// Malformed input is a *validation error*, never a panic: corpus fixtures
+/// and hand-written plans go through the same decoder, and a bad file must
+/// surface as a diagnosable message naming the offending field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanError {
+    /// Dotted path of the offending field (e.g. `links[2].policy.drop`).
+    pub field: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl PlanError {
+    /// Builds an error for `field`.
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        PlanError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Encodes a `u64` losslessly: `Json::Int` only holds `i64`, so large seeds
+/// go over the wire as `"0x..."` strings.
+pub fn u64_to_json(value: u64) -> Json {
+    match i64::try_from(value) {
+        Ok(n) => Json::Int(n),
+        Err(_) => Json::Str(format!("{value:#x}")),
+    }
+}
+
+/// Decodes a `u64` from either a non-negative integer or a `"0x..."` string.
+pub fn u64_from_json(v: &Json, at: &str) -> Result<u64, PlanError> {
+    match v {
+        Json::Int(n) if *n >= 0 => Ok(*n as u64),
+        Json::Int(_) => Err(PlanError::new(at, "must be non-negative")),
+        Json::Str(s) => {
+            let digits = s
+                .strip_prefix("0x")
+                .ok_or_else(|| PlanError::new(at, "expected an integer or a \"0x...\" string"))?;
+            u64::from_str_radix(digits, 16)
+                .map_err(|_| PlanError::new(at, format!("bad hex literal {s:?}")))
+        }
+        _ => Err(PlanError::new(
+            at,
+            "expected an integer or a \"0x...\" string",
+        )),
+    }
+}
+
+/// Decodes a `u32` round/count field.
+pub fn u32_from_json(v: &Json, at: &str) -> Result<u32, PlanError> {
+    let raw = u64_from_json(v, at)?;
+    u32::try_from(raw).map_err(|_| PlanError::new(at, "does not fit in u32"))
+}
+
+/// Decodes a probability: a finite number in `[0, 1]`.
+fn prob_from_json(v: &Json, at: &str) -> Result<f64, PlanError> {
+    let p = match v {
+        Json::Num(p) => *p,
+        Json::Int(n) => *n as f64,
+        _ => return Err(PlanError::new(at, "expected a number")),
+    };
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(PlanError::new(
+            at,
+            format!("probability {p} outside [0, 1]"),
+        ));
+    }
+    Ok(p)
+}
+
+/// Encodes a node set as a sorted array of raw ids.
+pub fn nodeset_to_json(set: &NodeSet) -> Json {
+    Json::Arr(set.iter().map(|v| Json::Int(i64::from(v.raw()))).collect())
+}
+
+/// Decodes a node set from an array of non-negative integers.
+pub fn nodeset_from_json(v: &Json, at: &str) -> Result<NodeSet, PlanError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| PlanError::new(at, "expected an array of node ids"))?;
+    let mut set = NodeSet::new();
+    for (i, item) in arr.iter().enumerate() {
+        let raw = u32_from_json(item, &format!("{at}[{i}]"))?;
+        set.insert(NodeId::new(raw));
+    }
+    Ok(set)
+}
+
+/// Looks up a required object field.
+pub fn field<'a>(v: &'a Json, key: &str, at: &str) -> Result<&'a Json, PlanError> {
+    v.get(key)
+        .ok_or_else(|| PlanError::new(format!("{at}{key}"), "missing required field"))
+}
 
 /// What one directed link may do to each message it carries.
 ///
@@ -70,6 +177,46 @@ impl LinkPolicy {
             0
         }
     }
+
+    /// Serializes the policy (rmt-obs codec conventions: snake_case keys,
+    /// insertion order preserved).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("drop", Json::Num(self.drop)),
+            ("delay", Json::Num(self.delay)),
+            ("max_delay", Json::Int(i64::from(self.max_delay))),
+            ("duplicate", Json::Num(self.duplicate)),
+            ("reorder", Json::Bool(self.reorder)),
+        ])
+    }
+
+    /// Decodes and validates a policy; `at` prefixes error paths.
+    pub fn from_json(v: &Json, at: &str) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new(
+                at.trim_end_matches('.'),
+                "expected an object",
+            ));
+        }
+        let reorder = match v.get("reorder") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(PlanError::new(format!("{at}reorder"), "expected a bool")),
+        };
+        let opt_prob = |key: &str| -> Result<f64, PlanError> {
+            v.get(key)
+                .map_or(Ok(0.0), |p| prob_from_json(p, &format!("{at}{key}")))
+        };
+        Ok(LinkPolicy {
+            drop: opt_prob("drop")?,
+            delay: opt_prob("delay")?,
+            max_delay: v
+                .get("max_delay")
+                .map_or(Ok(0), |n| u32_from_json(n, &format!("{at}max_delay")))?,
+            duplicate: opt_prob("duplicate")?,
+            reorder,
+        })
+    }
 }
 
 /// A transient network partition: while active, messages *sent* in
@@ -90,6 +237,32 @@ impl Partition {
     pub fn cuts(&self, from: NodeId, to: NodeId, round: u32) -> bool {
         (self.from_round..=self.to_round).contains(&round)
             && self.side.contains(from) != self.side.contains(to)
+    }
+
+    /// Serializes the partition.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("from_round", Json::Int(i64::from(self.from_round))),
+            ("to_round", Json::Int(i64::from(self.to_round))),
+            ("side", nodeset_to_json(&self.side)),
+        ])
+    }
+
+    /// Decodes and validates a partition; `at` prefixes error paths.
+    pub fn from_json(v: &Json, at: &str) -> Result<Self, PlanError> {
+        let from_round = u32_from_json(field(v, "from_round", at)?, &format!("{at}from_round"))?;
+        let to_round = u32_from_json(field(v, "to_round", at)?, &format!("{at}to_round"))?;
+        if from_round > to_round {
+            return Err(PlanError::new(
+                format!("{at}from_round"),
+                format!("window {from_round}..={to_round} is empty"),
+            ));
+        }
+        Ok(Partition {
+            from_round,
+            to_round,
+            side: nodeset_from_json(field(v, "side", at)?, &format!("{at}side"))?,
+        })
     }
 }
 
@@ -118,6 +291,36 @@ impl FaultPlan {
     /// The seed all fault draws derive from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Replaces the fault seed, keeping the schedule.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The default (non-overridden) link policy.
+    pub fn default_policy(&self) -> &LinkPolicy {
+        &self.default_policy
+    }
+
+    /// The explicit per-link overrides, sorted by `(from, to)`.
+    pub fn link_overrides(&self) -> Vec<((NodeId, NodeId), LinkPolicy)> {
+        let mut out: Vec<_> = self.links.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by_key(|(coords, _)| *coords);
+        out
+    }
+
+    /// The scheduled crashes, sorted by node.
+    pub fn crash_schedule(&self) -> Vec<(NodeId, u32)> {
+        let mut out: Vec<_> = self.crashes.iter().map(|(&v, &r)| (v, r)).collect();
+        out.sort();
+        out
+    }
+
+    /// The transient partitions, in insertion order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
     }
 
     /// Applies `policy` to every link without an explicit override.
@@ -208,6 +411,135 @@ impl FaultPlan {
             .max()
             .unwrap_or(0)
     }
+
+    /// Serializes the plan. Links and crashes are emitted in sorted order so
+    /// equal plans encode to identical bytes.
+    pub fn to_json(&self) -> Json {
+        let mut links: Vec<(&(NodeId, NodeId), &LinkPolicy)> = self.links.iter().collect();
+        links.sort_by_key(|(coords, _)| **coords);
+        let mut crashes: Vec<(&NodeId, &u32)> = self.crashes.iter().collect();
+        crashes.sort();
+        Json::obj([
+            ("seed", u64_to_json(self.seed)),
+            ("default_policy", self.default_policy.to_json()),
+            (
+                "links",
+                Json::Arr(
+                    links
+                        .into_iter()
+                        .map(|(&(from, to), policy)| {
+                            Json::obj([
+                                ("from", Json::Int(i64::from(from.raw()))),
+                                ("to", Json::Int(i64::from(to.raw()))),
+                                ("policy", policy.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "crashes",
+                Json::Arr(
+                    crashes
+                        .into_iter()
+                        .map(|(&node, &round)| {
+                            Json::obj([
+                                ("node", Json::Int(i64::from(node.raw()))),
+                                ("round", Json::Int(i64::from(round))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "partitions",
+                Json::Arr(self.partitions.iter().map(Partition::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes and validates a plan. Every malformed field is reported as a
+    /// [`PlanError`] naming its path — never a panic.
+    pub fn from_json(v: &Json) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new("plan", "expected an object"));
+        }
+        let seed = u64_from_json(field(v, "seed", "")?, "seed")?;
+        let default_policy = v
+            .get("default_policy")
+            .map_or(Ok(LinkPolicy::default()), |p| {
+                LinkPolicy::from_json(p, "default_policy.")
+            })?;
+
+        let mut links = HashMap::new();
+        if let Some(raw) = v.get("links") {
+            let arr = raw
+                .as_arr()
+                .ok_or_else(|| PlanError::new("links", "expected an array"))?;
+            for (i, entry) in arr.iter().enumerate() {
+                let at = format!("links[{i}].");
+                let from = NodeId::new(u32_from_json(
+                    field(entry, "from", &at)?,
+                    &format!("{at}from"),
+                )?);
+                let to = NodeId::new(u32_from_json(field(entry, "to", &at)?, &format!("{at}to"))?);
+                let policy =
+                    LinkPolicy::from_json(field(entry, "policy", &at)?, &format!("{at}policy."))?;
+                if links.insert((from, to), policy).is_some() {
+                    return Err(PlanError::new(
+                        format!("links[{i}]"),
+                        format!("duplicate entry for link {} -> {}", from.raw(), to.raw()),
+                    ));
+                }
+            }
+        }
+
+        let mut crashes = HashMap::new();
+        if let Some(raw) = v.get("crashes") {
+            let arr = raw
+                .as_arr()
+                .ok_or_else(|| PlanError::new("crashes", "expected an array"))?;
+            for (i, entry) in arr.iter().enumerate() {
+                let at = format!("crashes[{i}].");
+                let node = NodeId::new(u32_from_json(
+                    field(entry, "node", &at)?,
+                    &format!("{at}node"),
+                )?);
+                let round = u32_from_json(field(entry, "round", &at)?, &format!("{at}round"))?;
+                if crashes.insert(node, round).is_some() {
+                    return Err(PlanError::new(
+                        format!("crashes[{i}]"),
+                        format!("duplicate crash for node {}", node.raw()),
+                    ));
+                }
+            }
+        }
+
+        let mut partitions = Vec::new();
+        if let Some(raw) = v.get("partitions") {
+            let arr = raw
+                .as_arr()
+                .ok_or_else(|| PlanError::new("partitions", "expected an array"))?;
+            for (i, entry) in arr.iter().enumerate() {
+                partitions.push(Partition::from_json(entry, &format!("partitions[{i}]."))?);
+            }
+        }
+
+        Ok(FaultPlan {
+            seed,
+            default_policy,
+            links,
+            crashes,
+            partitions,
+        })
+    }
+
+    /// Decodes a plan from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, PlanError> {
+        let v = Json::parse(text)
+            .map_err(|e| PlanError::new("plan", format!("not valid JSON: {e}")))?;
+        FaultPlan::from_json(&v)
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +621,91 @@ mod tests {
         assert_eq!(plan.crashes_at(3), vec![NodeId::new(1), NodeId::new(2)]);
         assert_eq!(plan.crashes_at(1), Vec::<NodeId>::new());
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::new(u64::MAX - 3)
+            .with_default_policy(LinkPolicy {
+                drop: 0.25,
+                delay: 0.5,
+                max_delay: 3,
+                duplicate: 0.125,
+                reorder: true,
+            })
+            .with_link(
+                2.into(),
+                0.into(),
+                LinkPolicy {
+                    drop: 1.0,
+                    ..LinkPolicy::default()
+                },
+            )
+            .with_link_symmetric(0.into(), 1.into(), LinkPolicy::transparent())
+            .with_crash(3.into(), 2)
+            .with_crash(1.into(), 0)
+            .with_partition(Partition {
+                from_round: 1,
+                to_round: 4,
+                side: set(&[0, 2]),
+            });
+        let text = plan.to_json().encode();
+        let back = FaultPlan::from_json_str(&text).expect("round-trip");
+        assert_eq!(back, plan);
+        // Sorted emission: equal plans encode identically even though the
+        // internal maps are unordered.
+        assert_eq!(back.to_json().encode(), text);
+    }
+
+    #[test]
+    fn empty_plan_round_trips_and_stays_empty() {
+        let plan = FaultPlan::new(7);
+        let back = FaultPlan::from_json_str(&plan.to_json().encode()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.seed(), 7);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_field_paths() {
+        let reject = |text: &str, needle: &str| {
+            let err = FaultPlan::from_json_str(text).unwrap_err();
+            assert!(
+                err.field.contains(needle),
+                "expected field path containing {needle:?}, got {err}"
+            );
+        };
+        reject("[]", "plan");
+        reject("{}", "seed");
+        reject(r#"{"seed": -1}"#, "seed");
+        reject(r#"{"seed": "0xZZ"}"#, "seed");
+        reject(
+            r#"{"seed": 1, "default_policy": {"drop": 1.5}}"#,
+            "default_policy.drop",
+        );
+        reject(
+            r#"{"seed": 1, "links": [{"from": 0, "to": 1}]}"#,
+            "links[0].policy",
+        );
+        reject(
+            r#"{"seed": 1, "links": [
+                {"from": 0, "to": 1, "policy": {}},
+                {"from": 0, "to": 1, "policy": {}}
+            ]}"#,
+            "links[1]",
+        );
+        reject(
+            r#"{"seed": 1, "crashes": [{"node": 0, "round": 0}, {"node": 0, "round": 2}]}"#,
+            "crashes[1]",
+        );
+        reject(
+            r#"{"seed": 1, "partitions": [{"from_round": 5, "to_round": 2, "side": []}]}"#,
+            "partitions[0].from_round",
+        );
+        reject(
+            r#"{"seed": 1, "partitions": [{"from_round": 0, "to_round": 2, "side": [-1]}]}"#,
+            "partitions[0].side[0]",
+        );
+        assert!(FaultPlan::from_json_str("not json").is_err());
     }
 
     #[test]

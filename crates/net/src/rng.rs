@@ -23,7 +23,7 @@ fn splitmix64(x: u64) -> u64 {
 /// Distinguishes the independent draws made for one message, so e.g. the
 /// drop decision and the delay amount are uncorrelated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Salt {
+pub enum Salt {
     /// Should the link drop the message?
     Drop,
     /// Should the link duplicate the message?
@@ -63,7 +63,7 @@ impl FaultRng {
     /// The raw 64-bit draw for one `(round, from, to, k, salt)` coordinate,
     /// where `k` is the message's index among the round's `from → to`
     /// traffic.
-    pub(crate) fn draw(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> u64 {
+    pub fn draw(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> u64 {
         let mut h = splitmix64(self.seed);
         h = splitmix64(h ^ u64::from(round));
         h = splitmix64(h ^ (u64::from(from) << 32 | u64::from(to)));
@@ -72,7 +72,7 @@ impl FaultRng {
     }
 
     /// The draw mapped uniformly into `[0, 1)` (53 mantissa bits).
-    pub(crate) fn unit(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> f64 {
+    pub fn unit(&self, round: u32, from: u32, to: u32, k: u32, salt: Salt) -> f64 {
         (self.draw(round, from, to, k, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }

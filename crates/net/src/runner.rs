@@ -23,6 +23,7 @@ use rmt_sim::{
 
 use crate::plan::FaultPlan;
 use crate::rng::{FaultRng, Salt};
+use crate::suppress::MessageAdversary;
 
 /// One enqueued message copy, ordered by `(deliver_round, seq, tie)`.
 ///
@@ -80,6 +81,8 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Extra copies injected by link duplication.
     pub duplicated: u64,
+    /// Messages erased by the [`MessageAdversary`]'s per-round budget.
+    pub suppressed: u64,
     /// The largest extra delay actually applied, in rounds.
     pub max_observed_delay: u32,
 }
@@ -87,8 +90,28 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total messages the network destroyed (all drop causes).
     pub fn lost(&self) -> u64 {
-        self.dropped + self.partitioned + self.crashed_sender
+        self.dropped + self.partitioned + self.crashed_sender + self.suppressed
     }
+}
+
+/// How a run ended.
+///
+/// The hunter needs to tell liveness loss apart from wrong delivery, so the
+/// scheduler reports *why* it stopped instead of folding round-cap
+/// exhaustion into a generic non-decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// The network quiesced: after `round`, no traffic was left in flight.
+    Quiesced {
+        /// The last round that executed.
+        round: u32,
+    },
+    /// The round cap was exhausted with traffic still queued: the run was
+    /// cut off, not finished.
+    Stalled {
+        /// The round at which the cap hit.
+        round: u32,
+    },
 }
 
 /// The fault-injecting scheduler: [`Runner`](rmt_sim::Runner) semantics plus
@@ -104,6 +127,7 @@ pub struct NetRunner<Q: Protocol, A> {
     protocols: Vec<Option<Q>>,
     adversary: A,
     plan: FaultPlan,
+    suppressor: Option<MessageAdversary>,
     rng: FaultRng,
     max_rounds: u32,
     watch: NodeSet,
@@ -120,6 +144,8 @@ pub struct NetOutcome<Q: Protocol> {
     pub metrics: Metrics,
     /// What the network did to the traffic.
     pub faults: FaultStats,
+    /// Whether the run quiesced or hit the round cap with traffic queued.
+    pub termination: Termination,
     watched: DeliveryLog<Q::Payload>,
 }
 
@@ -157,6 +183,7 @@ where
             protocols,
             adversary,
             plan,
+            suppressor: None,
             rng,
             max_rounds,
             watch: NodeSet::new(),
@@ -167,6 +194,17 @@ where
     /// Overrides the round limit.
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Attaches a [`MessageAdversary`]: each round it sees every admitted
+    /// send (the full-information view) and erases its chosen victims, up
+    /// to its budget, before the probabilistic fault pipeline runs.
+    ///
+    /// Composes with the [`FaultPlan`]: suppression and plan faults are
+    /// accounted separately ([`FaultStats::suppressed`]).
+    pub fn with_message_adversary(mut self, adversary: MessageAdversary) -> Self {
+        self.suppressor = Some(adversary);
         self
     }
 
@@ -220,9 +258,13 @@ where
         }
         self.emit_crashes(0, observer);
 
-        // Round 0: initial sends.
+        // Round 0: initial sends. The whole round's admitted traffic is
+        // buffered before injection so a message adversary sees the
+        // full-information view; with identical admission order the queue
+        // state is unchanged from per-batch injection.
         let mut edge_index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
         let mut honest_this_round = 0u64;
+        let mut outbox: Vec<Envelope<Q::Payload>> = Vec::new();
         for v in self.graph.nodes() {
             if self.plan.crashed(v, 0) {
                 continue;
@@ -234,40 +276,31 @@ where
                     neighbors: self.graph.neighbors(v).clone(),
                 };
                 let sends = proto.start(&ctx);
-                let admitted = Transport::new(&self.graph).admit_honest(
+                outbox.extend(Transport::new(&self.graph).admit_honest(
                     0,
                     v,
                     sends,
                     &mut metrics,
                     &mut honest_this_round,
                     observer,
-                );
-                inject(
-                    &self.plan,
-                    &self.rng,
-                    0,
-                    admitted,
-                    &mut edge_index,
-                    &mut queue,
-                    &mut next_tie,
-                    &mut faults,
-                    observer,
-                );
+                ));
             }
         }
         let adversarial = self.adversary.start(&self.graph);
-        let admitted = Transport::new(&self.graph).admit_adversarial(
+        outbox.extend(Transport::new(&self.graph).admit_adversarial(
             0,
             self.adversary.corrupted(),
             adversarial,
             &mut metrics,
             observer,
-        );
+        ));
+        let mask = suppression_mask(self.suppressor.as_ref(), 0, &outbox);
         inject(
             &self.plan,
             &self.rng,
             0,
-            admitted,
+            outbox,
+            &mask,
             &mut edge_index,
             &mut queue,
             &mut next_tie,
@@ -324,6 +357,7 @@ where
 
             edge_index.clear();
             let mut honest_this_round = 0u64;
+            let mut outbox: Vec<Envelope<Q::Payload>> = Vec::new();
             for v in self.graph.nodes() {
                 if self.plan.crashed(v, round) {
                     continue;
@@ -335,40 +369,31 @@ where
                         neighbors: self.graph.neighbors(v).clone(),
                     };
                     let sends = proto.on_round(&ctx, delivered.inbox(v));
-                    let admitted = Transport::new(&self.graph).admit_honest(
+                    outbox.extend(Transport::new(&self.graph).admit_honest(
                         round,
                         v,
                         sends,
                         &mut metrics,
                         &mut honest_this_round,
                         observer,
-                    );
-                    inject(
-                        &self.plan,
-                        &self.rng,
-                        round,
-                        admitted,
-                        &mut edge_index,
-                        &mut queue,
-                        &mut next_tie,
-                        &mut faults,
-                        observer,
-                    );
+                    ));
                 }
             }
             let adversarial = self.adversary.on_round(round, &self.graph, &delivered);
-            let admitted = Transport::new(&self.graph).admit_adversarial(
+            outbox.extend(Transport::new(&self.graph).admit_adversarial(
                 round,
                 self.adversary.corrupted(),
                 adversarial,
                 &mut metrics,
                 observer,
-            );
+            ));
+            let mask = suppression_mask(self.suppressor.as_ref(), round, &outbox);
             inject(
                 &self.plan,
                 &self.rng,
                 round,
-                admitted,
+                outbox,
+                &mask,
                 &mut edge_index,
                 &mut queue,
                 &mut next_tie,
@@ -400,11 +425,21 @@ where
             });
         }
 
+        let termination = if queue.is_empty() {
+            Termination::Quiesced {
+                round: metrics.rounds,
+            }
+        } else {
+            Termination::Stalled {
+                round: metrics.rounds,
+            }
+        };
         NetOutcome {
             protocols: self.protocols,
             corrupted: self.adversary.corrupted().clone(),
             metrics,
             faults,
+            termination,
             watched,
         }
     }
@@ -423,13 +458,36 @@ where
     }
 }
 
+/// Computes the message adversary's victim mask over a round's buffered
+/// admissions (empty when no suppressor is active this round).
+fn suppression_mask<P>(
+    suppressor: Option<&MessageAdversary>,
+    round: u32,
+    outbox: &[Envelope<P>],
+) -> Vec<bool> {
+    let Some(adv) = suppressor else {
+        return Vec::new();
+    };
+    if !adv.active(round) || outbox.is_empty() {
+        return Vec::new();
+    }
+    let coords: Vec<(NodeId, NodeId)> = outbox.iter().map(|e| (e.from, e.to)).collect();
+    let mut mask = vec![false; outbox.len()];
+    for i in adv.choose(round, &coords) {
+        mask[i] = true;
+    }
+    mask
+}
+
 /// Runs admitted envelopes of send round `round` through the fault pipeline
 /// and enqueues the surviving copies.
 ///
-/// Pipeline per envelope, each decision an independent seeded draw keyed by
-/// the message's coordinates: crashed sender → partition → drop → duplicate
-/// → per-copy delay → enqueue. `edge_index` numbers the round's messages per
-/// directed edge (the `k` coordinate of the draws); `next_tie` is the global
+/// Pipeline per envelope: message-adversary suppression (`suppress[i]`,
+/// chosen over the whole round's admissions) first, then each probabilistic
+/// decision as an independent seeded draw keyed by the message's
+/// coordinates: crashed sender → partition → drop → duplicate → per-copy
+/// delay → enqueue. `edge_index` numbers the round's messages per directed
+/// edge (the `k` coordinate of the draws); `next_tie` is the global
 /// admission counter.
 #[allow(clippy::too_many_arguments)]
 fn inject<P, O>(
@@ -437,6 +495,7 @@ fn inject<P, O>(
     rng: &FaultRng,
     round: u32,
     envelopes: Vec<Envelope<P>>,
+    suppress: &[bool],
     edge_index: &mut HashMap<(NodeId, NodeId), u32>,
     queue: &mut BinaryHeap<Scheduled<P>>,
     next_tie: &mut u64,
@@ -446,7 +505,7 @@ fn inject<P, O>(
     P: rmt_sim::Payload,
     O: RunObserver,
 {
-    for env in envelopes {
+    for (idx, env) in envelopes.into_iter().enumerate() {
         let (from, to) = (env.from, env.to);
         let k = {
             let slot = edge_index.entry((from, to)).or_insert(0);
@@ -456,6 +515,18 @@ fn inject<P, O>(
         };
         let (f, t) = (from.raw(), to.raw());
 
+        if suppress.get(idx).copied().unwrap_or(false) {
+            faults.suppressed += 1;
+            if O::ACTIVE {
+                observer.on_event(&RunEvent::FaultDrop {
+                    round,
+                    from: f,
+                    to: t,
+                    reason: DropReason::Suppressed,
+                });
+            }
+            continue;
+        }
         if plan.crashed(from, round) {
             faults.crashed_sender += 1;
             if O::ACTIVE {
@@ -841,6 +912,129 @@ mod tests {
             .events
             .iter()
             .any(|ev| matches!(ev, RunEvent::RoundEnd { .. })));
+    }
+
+    #[test]
+    fn quiesced_runs_report_their_last_round() {
+        let g = generators::cycle(6);
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            FaultPlan::new(1),
+        )
+        .run();
+        let Termination::Quiesced { round } = out.termination else {
+            panic!("fault-free flood must quiesce, got {:?}", out.termination);
+        };
+        assert_eq!(round, out.metrics.rounds);
+    }
+
+    #[test]
+    fn exhausted_round_cap_reports_stalled() {
+        // Full delay keeps a message in flight past a tiny cap: the run is
+        // cut off with traffic queued, which must surface as Stalled, not
+        // as a silent non-decision.
+        let g = generators::path_graph(4);
+        let plan = FaultPlan::new(5).with_default_policy(LinkPolicy {
+            delay: 1.0,
+            max_delay: 6,
+            ..LinkPolicy::default()
+        });
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            plan,
+        )
+        .with_max_rounds(2)
+        .run();
+        assert_eq!(out.termination, Termination::Stalled { round: 2 });
+        assert_eq!(out.decision(3.into()), None);
+    }
+
+    #[test]
+    fn focused_suppression_starves_the_focus_node() {
+        // Path 0-1-2-3: every message into node 3 is suppressed, so 3 never
+        // decides while everyone else floods normally.
+        let g = generators::path_graph(4);
+        let adv = MessageAdversary::focused(10, set(&[3]));
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            FaultPlan::new(0),
+        )
+        .with_message_adversary(adv)
+        .run();
+        assert_eq!(out.decision(2.into()), Some(7));
+        assert_eq!(out.decision(3.into()), None);
+        assert!(out.faults.suppressed > 0);
+        assert_eq!(out.faults.lost(), out.faults.suppressed);
+        assert!(matches!(out.termination, Termination::Quiesced { .. }));
+    }
+
+    #[test]
+    fn suppression_budget_is_per_round() {
+        // Cycle of 6, unfocused budget 1: at most one message dies per send
+        // round, and every suppression is visible in the event stream. With
+        // full information even this minimal budget defeats flooding — the
+        // adversary keeps erasing the frontier message.
+        let g = generators::cycle(6);
+        let mut obs = rmt_obs::VecObserver::new();
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            FaultPlan::new(0),
+        )
+        .with_message_adversary(MessageAdversary::new(1))
+        .run_observed(&mut obs);
+        let mut per_round: HashMap<u32, u64> = HashMap::new();
+        for ev in &obs.events {
+            if let RunEvent::FaultDrop {
+                round,
+                reason: DropReason::Suppressed,
+                ..
+            } = ev
+            {
+                *per_round.entry(*round).or_insert(0) += 1;
+            }
+        }
+        assert!(per_round.values().all(|&n| n <= 1), "budget is per round");
+        assert_eq!(per_round.values().sum::<u64>(), out.faults.suppressed);
+        assert!(out.faults.suppressed >= 1);
+        assert_eq!(out.decision(0.into()), Some(7)); // its own input
+        assert!(
+            (0..6u32).any(|v| out.decision(v.into()).is_none()),
+            "the frontier-chasing adversary must starve someone"
+        );
+    }
+
+    #[test]
+    fn transparent_suppressor_changes_nothing() {
+        let run = |suppressor: Option<MessageAdversary>| {
+            let mut obs = rmt_obs::VecObserver::new();
+            let mut r = NetRunner::new(
+                generators::cycle(5),
+                flood_from_zero,
+                SilentAdversary::new(NodeSet::new()),
+                FaultPlan::new(9).with_default_policy(LinkPolicy {
+                    drop: 0.2,
+                    ..LinkPolicy::default()
+                }),
+            );
+            if let Some(s) = suppressor {
+                r = r.with_message_adversary(s);
+            }
+            let out = r.run_observed(&mut obs);
+            (obs.events, out.metrics, out.faults)
+        };
+        let plain = run(None);
+        let zero = run(Some(MessageAdversary::new(0)));
+        let windowless = run(Some(MessageAdversary::new(3).with_window(900, 1000)));
+        assert_eq!(plain, zero);
+        assert_eq!(plain, windowless);
     }
 
     #[test]

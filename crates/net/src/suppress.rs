@@ -1,0 +1,303 @@
+//! The message-adversary scheduler mode: budgeted per-round suppression.
+//!
+//! The [`FaultPlan`](crate::FaultPlan) is a *probabilistic* fault model:
+//! each link misbehaves independently with fixed per-message odds. The
+//! message adversary of Albouy, Frey, Raynal and Taïani ("Signature-Free
+//! Byzantine Reliable Broadcast under a Message Adversary") is the
+//! *adversarial* counterpart: an entity that sees every message sent in a
+//! round — the full-information view — and may erase up to `d` of them,
+//! choosing its victims to do maximal damage. [`MessageAdversary`] brings
+//! that model to the `NetRunner`: a per-round budget, an activity window,
+//! and a victim-selection policy built around a *focus* set (suppress
+//! traffic touching those nodes first — starving the receiver is the
+//! canonical liveness attack).
+//!
+//! Selection is a pure function of the round's admitted send coordinates,
+//! so runs stay bit-reproducible and a suppressor can be serialized into a
+//! corpus fixture alongside the plan it composes with. Suppressed messages
+//! surface in the event stream as `FaultDrop { reason: Suppressed }` and in
+//! [`FaultStats::suppressed`](crate::FaultStats::suppressed).
+
+use rmt_obs::Json;
+use rmt_sets::{NodeId, NodeSet};
+
+use crate::plan::{field, nodeset_from_json, nodeset_to_json, u32_from_json, PlanError};
+
+/// A budgeted message adversary: each round inside its window it erases up
+/// to `budget` of the round's admitted messages, preferring traffic into
+/// (then out of) its focus set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageAdversary {
+    budget: u32,
+    from_round: u32,
+    to_round: u32,
+    focus: NodeSet,
+    spill: bool,
+}
+
+impl MessageAdversary {
+    /// An unfocused adversary: suppresses the first `budget` admitted
+    /// messages of every round (window `0..=u32::MAX`, spill on).
+    pub fn new(budget: u32) -> Self {
+        MessageAdversary {
+            budget,
+            from_round: 0,
+            to_round: u32::MAX,
+            focus: NodeSet::new(),
+            spill: true,
+        }
+    }
+
+    /// A focused adversary: suppresses only messages touching `focus`
+    /// (inbound first, then outbound), leaving the rest of the network
+    /// untouched even when budget remains.
+    pub fn focused(budget: u32, focus: NodeSet) -> Self {
+        MessageAdversary {
+            budget,
+            from_round: 0,
+            to_round: u32::MAX,
+            focus,
+            spill: false,
+        }
+    }
+
+    /// Restricts activity to send rounds `from_round..=to_round`.
+    pub fn with_window(mut self, from_round: u32, to_round: u32) -> Self {
+        self.from_round = from_round;
+        self.to_round = to_round;
+        self
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the focus set.
+    pub fn with_focus(mut self, focus: NodeSet) -> Self {
+        self.focus = focus;
+        self
+    }
+
+    /// Sets whether leftover budget spills onto traffic not touching the
+    /// focus set.
+    pub fn with_spill(mut self, spill: bool) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// The per-round suppression budget `d`.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// First affected send round.
+    pub fn from_round(&self) -> u32 {
+        self.from_round
+    }
+
+    /// Last affected send round (inclusive).
+    pub fn to_round(&self) -> u32 {
+        self.to_round
+    }
+
+    /// The preferred victims.
+    pub fn focus(&self) -> &NodeSet {
+        &self.focus
+    }
+
+    /// Whether leftover budget hits non-focus traffic.
+    pub fn spill(&self) -> bool {
+        self.spill
+    }
+
+    /// `true` if the adversary acts on messages sent in `round`.
+    pub fn active(&self, round: u32) -> bool {
+        self.budget > 0 && (self.from_round..=self.to_round).contains(&round)
+    }
+
+    /// `true` if no round can ever lose a message to this adversary.
+    pub fn is_transparent(&self) -> bool {
+        self.budget == 0 || self.from_round > self.to_round
+    }
+
+    /// Chooses up to `budget` victims among the round's admitted sends
+    /// (given in admission order as `(from, to)` coordinates), returning
+    /// their indices in ascending order.
+    ///
+    /// Priority: messages *into* the focus set, then *out of* it, then —
+    /// only if `spill` — everything else; ties break by admission order.
+    /// The choice is a pure function of `(round, sends)`, keeping runs
+    /// replayable.
+    pub fn choose(&self, round: u32, sends: &[(NodeId, NodeId)]) -> Vec<usize> {
+        if !self.active(round) {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(u8, usize)> = Vec::new();
+        for (i, &(from, to)) in sends.iter().enumerate() {
+            let rank = if self.focus.contains(to) {
+                0
+            } else if self.focus.contains(from) {
+                1
+            } else {
+                2
+            };
+            if rank == 2 && !self.spill {
+                continue;
+            }
+            ranked.push((rank, i));
+        }
+        ranked.sort_unstable();
+        let mut victims: Vec<usize> = ranked
+            .into_iter()
+            .take(self.budget as usize)
+            .map(|(_, i)| i)
+            .collect();
+        victims.sort_unstable();
+        victims
+    }
+
+    /// Serializes the adversary (rmt-obs codec conventions).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("budget", Json::Int(i64::from(self.budget))),
+            ("from_round", Json::Int(i64::from(self.from_round))),
+            ("to_round", Json::Int(i64::from(self.to_round))),
+            ("focus", nodeset_to_json(&self.focus)),
+            ("spill", Json::Bool(self.spill)),
+        ])
+    }
+
+    /// Decodes and validates an adversary; `at` prefixes error paths.
+    pub fn from_json(v: &Json, at: &str) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new(
+                at.trim_end_matches('.'),
+                "expected an object",
+            ));
+        }
+        let budget = u32_from_json(field(v, "budget", at)?, &format!("{at}budget"))?;
+        let from_round = v
+            .get("from_round")
+            .map_or(Ok(0), |n| u32_from_json(n, &format!("{at}from_round")))?;
+        let to_round = v
+            .get("to_round")
+            .map_or(Ok(u32::MAX), |n| u32_from_json(n, &format!("{at}to_round")))?;
+        if from_round > to_round {
+            return Err(PlanError::new(
+                format!("{at}from_round"),
+                format!("window {from_round}..={to_round} is empty"),
+            ));
+        }
+        let focus = v.get("focus").map_or(Ok(NodeSet::new()), |f| {
+            nodeset_from_json(f, &format!("{at}focus"))
+        })?;
+        let spill = match v.get("spill") {
+            None => focus.is_empty(),
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(PlanError::new(format!("{at}spill"), "expected a bool")),
+        };
+        Ok(MessageAdversary {
+            budget,
+            from_round,
+            to_round,
+            focus,
+            spill,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn coords(pairs: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
+        pairs.iter().map(|&(f, t)| (f.into(), t.into())).collect()
+    }
+
+    #[test]
+    fn unfocused_adversary_takes_admission_prefix() {
+        let adv = MessageAdversary::new(2);
+        let sends = coords(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(adv.choose(0, &sends), vec![0, 1]);
+        assert_eq!(adv.choose(1000, &sends), vec![0, 1]);
+    }
+
+    #[test]
+    fn focused_adversary_prefers_inbound_then_outbound() {
+        let adv = MessageAdversary::focused(2, set(&[3]));
+        // Outbound from 3 at index 0, inbound to 3 at indices 2 and 4.
+        let sends = coords(&[(3, 0), (0, 1), (1, 3), (1, 2), (2, 3)]);
+        // Both inbound messages outrank the outbound one.
+        assert_eq!(adv.choose(0, &sends), vec![2, 4]);
+        // With budget for all three, the outbound message falls too — but
+        // without spill the unrelated traffic survives any budget.
+        let adv = adv.with_budget(10);
+        assert_eq!(adv.choose(0, &sends), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn window_and_zero_budget_deactivate() {
+        let adv = MessageAdversary::new(1).with_window(2, 4);
+        let sends = coords(&[(0, 1)]);
+        assert!(adv.choose(1, &sends).is_empty());
+        assert_eq!(adv.choose(2, &sends), vec![0]);
+        assert_eq!(adv.choose(4, &sends), vec![0]);
+        assert!(adv.choose(5, &sends).is_empty());
+        assert!(!adv.is_transparent());
+        assert!(MessageAdversary::new(0).is_transparent());
+        assert!(MessageAdversary::new(0).choose(0, &sends).is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let adv = MessageAdversary::focused(3, set(&[2, 5]))
+            .with_window(1, 9)
+            .with_spill(true);
+        let back = MessageAdversary::from_json(
+            &Json::parse(&adv.to_json().encode()).unwrap(),
+            "suppression.",
+        )
+        .unwrap();
+        assert_eq!(back, adv);
+    }
+
+    #[test]
+    fn malformed_adversaries_are_rejected() {
+        let reject = |text: &str, needle: &str| {
+            let err = MessageAdversary::from_json(&Json::parse(text).unwrap(), "suppression.")
+                .unwrap_err();
+            assert!(
+                err.field.contains(needle),
+                "expected field containing {needle:?}, got {err}"
+            );
+        };
+        reject("{}", "budget");
+        reject(r#"{"budget": -1}"#, "budget");
+        reject(
+            r#"{"budget": 1, "from_round": 5, "to_round": 2}"#,
+            "from_round",
+        );
+        reject(r#"{"budget": 1, "focus": [true]}"#, "focus[0]");
+        reject(r#"{"budget": 1, "spill": 3}"#, "spill");
+        reject("[]", "suppression");
+    }
+
+    #[test]
+    fn spill_defaults_track_focus() {
+        let bare =
+            MessageAdversary::from_json(&Json::parse(r#"{"budget": 1}"#).unwrap(), "").unwrap();
+        assert!(bare.spill());
+        let focused = MessageAdversary::from_json(
+            &Json::parse(r#"{"budget": 1, "focus": [0]}"#).unwrap(),
+            "",
+        )
+        .unwrap();
+        assert!(!focused.spill());
+    }
+}

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use rmt_graph::generators;
-use rmt_net::{FaultPlan, FaultStats, LinkPolicy, NetRunner, Partition};
+use rmt_net::{
+    FaultPlan, FaultRng, FaultStats, LinkPolicy, MessageAdversary, NetRunner, Partition, Salt,
+};
 use rmt_obs::VecObserver;
 use rmt_sets::{NodeId, NodeSet};
 use rmt_sim::{testing::Flood, Runner, SilentAdversary};
@@ -26,6 +28,36 @@ fn arb_policy() -> impl Strategy<Value = LinkPolicy> {
 
 fn arb_setup() -> impl Strategy<Value = (usize, f64, u64)> {
     (4usize..10, 0.3f64..0.8, any::<u64>())
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        arb_policy(),
+        proptest::collection::vec((0u32..8, 0u32..8, arb_policy()), 0..5),
+        proptest::collection::vec((0u32..8, 0u32..6), 0..4),
+        proptest::collection::vec(
+            (0u32..4, 0u32..8, proptest::collection::vec(0u32..8, 0..5)),
+            0..3,
+        ),
+    )
+        .prop_map(|(seed, default_policy, links, crashes, partitions)| {
+            let mut plan = FaultPlan::new(seed).with_default_policy(default_policy);
+            for (f, t, p) in links {
+                plan = plan.with_link(f.into(), t.into(), p);
+            }
+            for (v, r) in crashes {
+                plan = plan.with_crash(v.into(), r);
+            }
+            for (from_round, len, side) in partitions {
+                plan = plan.with_partition(Partition {
+                    from_round,
+                    to_round: from_round + len,
+                    side: side.into_iter().collect(),
+                });
+            }
+            plan
+        })
 }
 
 fn flood_from_zero(v: NodeId) -> Flood {
@@ -148,6 +180,88 @@ proptest! {
         if policy.duplicate == 0.0 {
             prop_assert_eq!(out.faults.duplicated, 0);
         }
+    }
+
+    /// `FaultRng` is stateless: every draw is a pure function of
+    /// `(seed, round, from, to, k, salt)`. Querying the same coordinates in
+    /// reverse order, interleaved with arbitrary unrelated draws, yields
+    /// bit-identical values — so a message's fate never depends on how much
+    /// *other* traffic the network carried or in what order it was decided.
+    #[test]
+    fn fault_rng_decisions_depend_only_on_message_coordinates(
+        seed in any::<u64>(),
+        coords in proptest::collection::vec((0u32..64, 0u32..16, 0u32..16, 0u32..8), 1..40),
+        noise in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            0..20,
+        ),
+    ) {
+        let salts = [
+            Salt::Drop,
+            Salt::Duplicate,
+            Salt::Delay(0),
+            Salt::DelayAmount(1),
+            Salt::Sequence(2),
+        ];
+        let rng = FaultRng::new(seed);
+        let forward: Vec<Vec<u64>> = coords
+            .iter()
+            .map(|&(r, f, t, k)| salts.iter().map(|&s| rng.draw(r, f, t, k, s)).collect())
+            .collect();
+        // Fresh source, reverse visit order, unrelated draws in between:
+        // a stateful generator would diverge, a stateless one cannot.
+        let replay = FaultRng::new(seed);
+        let mut backward: Vec<Vec<u64>> = coords
+            .iter()
+            .rev()
+            .map(|&(r, f, t, k)| {
+                for &(nr, nf, nt, nk) in &noise {
+                    let _ = replay.draw(nr, nf, nt, nk, Salt::Drop);
+                    let _ = replay.unit(nr, nf, nt, nk, Salt::Duplicate);
+                }
+                salts.iter().map(|&s| replay.draw(r, f, t, k, s)).collect()
+            })
+            .collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+        for &(r, f, t, k) in &coords {
+            let u = rng.unit(r, f, t, k, Salt::Drop);
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert_eq!(u, rng.unit(r, f, t, k, Salt::Drop));
+        }
+    }
+
+    /// Every constructible plan round-trips through JSON, and the encoding
+    /// is canonical (encode → decode → encode is a textual fixpoint).
+    #[test]
+    fn plans_round_trip_through_json(plan in arb_plan()) {
+        let text = plan.to_json().encode();
+        let back = FaultPlan::from_json_str(&text).expect("self-encoded plans decode");
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(back.to_json().encode(), text);
+    }
+
+    /// A focused message adversary with budget covering all focus-touching
+    /// traffic starves exactly its focus node: it never decides, and every
+    /// lost message is billed to suppression.
+    #[test]
+    fn focused_suppression_starves_only_the_focus((n, p, seed) in arb_setup()) {
+        let g = generators::gnp_connected(n, p, &mut generators::seeded(seed));
+        let target = NodeId::new(n as u32 - 1);
+        let out = NetRunner::new(
+            g,
+            flood_from_zero,
+            SilentAdversary::new(NodeSet::new()),
+            FaultPlan::new(seed),
+        )
+        .with_message_adversary(MessageAdversary::focused(
+            10_000,
+            NodeSet::singleton(target),
+        ))
+        .run();
+        prop_assert_eq!(out.decision(target), None);
+        prop_assert!(out.faults.suppressed > 0);
+        prop_assert_eq!(out.faults.lost(), out.faults.suppressed);
     }
 
     /// A total partition isolates the two sides for its whole duration: if

@@ -61,6 +61,9 @@ pub enum DropReason {
     /// The sender had crashed by the send round (only adversarial traffic
     /// can hit this: crashed honest nodes are never invoked).
     SenderCrashed,
+    /// A message adversary spent one unit of its per-round suppression
+    /// budget on the message (`rmt-net`'s `MessageAdversary` mode).
+    Suppressed,
 }
 
 impl DropReason {
@@ -70,6 +73,7 @@ impl DropReason {
             DropReason::LinkDrop => "link_drop",
             DropReason::Partitioned => "partitioned",
             DropReason::SenderCrashed => "sender_crashed",
+            DropReason::Suppressed => "suppressed",
         }
     }
 
@@ -78,6 +82,7 @@ impl DropReason {
             "link_drop" => Some(DropReason::LinkDrop),
             "partitioned" => Some(DropReason::Partitioned),
             "sender_crashed" => Some(DropReason::SenderCrashed),
+            "suppressed" => Some(DropReason::Suppressed),
             _ => None,
         }
     }
@@ -743,6 +748,7 @@ mod tests {
             DropReason::LinkDrop,
             DropReason::Partitioned,
             DropReason::SenderCrashed,
+            DropReason::Suppressed,
         ] {
             assert_eq!(DropReason::parse(reason.as_str()), Some(reason));
         }

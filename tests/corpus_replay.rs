@@ -1,0 +1,70 @@
+//! Replays the committed counterexample corpus.
+//!
+//! Every fixture under `tests/corpus/` is a minimized attack the hunter
+//! (`rmt-hunt`, driven by the `e14_attack_search` experiment) once found,
+//! pinned with the instance recipe and the verdict it produced. Replaying
+//! them on every test run turns each past violation into a permanent
+//! regression gate, in both directions:
+//!
+//! * if a scheduler or protocol change makes a recorded attack *stop*
+//!   reproducing, the fix (or the regression masking it) is flagged;
+//! * if a recorded liveness violation ever turns into a *safety* violation
+//!   (`Wrong`), something fundamental broke.
+
+use rmt::hunt::{corpus, Verdict};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_fixture_replays_to_its_recorded_verdict() {
+    let fixtures = corpus::load_dir(&corpus_dir()).expect("corpus must parse");
+    assert!(
+        !fixtures.is_empty(),
+        "tests/corpus/ is empty — the committed counterexample corpus is missing"
+    );
+    for fixture in &fixtures {
+        let report = fixture.replay();
+        assert_eq!(
+            report.verdict, fixture.verdict,
+            "fixture {} no longer reproduces its recorded verdict",
+            fixture.name
+        );
+    }
+}
+
+#[test]
+fn the_corpus_contains_no_safety_violations() {
+    // The protocols' safety arguments are structural: no recorded attack —
+    // suppression, faults, Byzantine behaviour — should ever have produced
+    // a wrong decision. A `Wrong` fixture would mean a real counterexample
+    // to the paper's theorems was found and committed; fail loudly so it
+    // cannot sit unnoticed in the corpus.
+    for fixture in &corpus::load_dir(&corpus_dir()).expect("corpus must parse") {
+        assert_ne!(
+            fixture.verdict,
+            Verdict::Wrong,
+            "fixture {} records a safety violation — investigate before anything else",
+            fixture.name
+        );
+    }
+}
+
+#[test]
+fn corpus_fixtures_are_minimal() {
+    // Each committed genome is a local minimum: every strictly simpler
+    // shrink candidate must fail to reproduce the verdict. Guards against
+    // hand-edited or stale fixtures bloating the corpus.
+    for fixture in &corpus::load_dir(&corpus_dir()).expect("corpus must parse") {
+        let inst = fixture.spec.build();
+        for simpler in fixture.genome.shrink_candidates() {
+            assert_ne!(
+                rmt::hunt::execute(&inst, fixture.input, &simpler).verdict,
+                fixture.verdict,
+                "fixture {} is not minimal: a simpler genome reproduces it",
+                fixture.name
+            );
+        }
+    }
+}

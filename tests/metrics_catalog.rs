@@ -10,11 +10,13 @@ use rmt_core::cuts::{
     find_rmt_cut_anchored_observed, find_rmt_cut_observed,
     zpp_cut_by_enumeration_anchored_observed, zpp_cut_by_fixpoint_observed,
 };
+use rmt_core::protocols::attacks::PkaAttack;
 use rmt_core::protocols::pka_decision::{DecisionConfig, ReceiverState};
 use rmt_core::sampling::random_instance_nonadjacent;
 use rmt_core::{Instance, KnowledgeCache};
 use rmt_graph::generators::seeded;
 use rmt_graph::{Graph, ViewKind};
+use rmt_hunt::{Behaviour, Family, HuntConfig, Hunter, InstanceSpec};
 use rmt_obs::{Clock, Profiler, Registry, RunEvent};
 use rmt_sets::NodeSet;
 
@@ -76,6 +78,24 @@ fn emitted_names() -> (Vec<&'static str>, Vec<String>) {
     }
     let _ = state.decide_observed(&DecisionConfig::default(), &reg);
 
+    // The attack hunter: a tiny budget suffices — the hunt.* counters
+    // register in `Hunter::new`, and a handful of candidates exercises the
+    // execute/novelty/shrink paths.
+    let hunt_inst = InstanceSpec {
+        family: Family::E3,
+        n: 6,
+        view: ViewKind::AdHoc,
+        seed: 11,
+    }
+    .build();
+    let config = HuntConfig {
+        seed: 0xCA7,
+        candidates: 8,
+        shrink_budget: 20,
+        behaviours: vec![Behaviour::Pka(PkaAttack::Silent)],
+    };
+    let _ = Hunter::new(&reg).hunt(&hunt_inst, 7, &config);
+
     let spans = prof
         .events()
         .iter()
@@ -104,6 +124,8 @@ fn every_emitted_metric_is_documented_in_metrics_md() {
         "pka.selections_examined",
         "pka.decide_ns",
         "join.folds",
+        "hunt.candidates_executed",
+        "hunt.shrink_steps",
     ] {
         assert!(
             metrics.contains(&expected),
