@@ -24,8 +24,8 @@
 
 use rmt_adversary::AdversaryStructure;
 use rmt_graph::Graph;
-use rmt_sets::NodeId;
-use rmt_sim::{Envelope, NodeContext, Payload, Protocol};
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{Envelope, NodeContext, Payload, Protocol, WirePayload};
 
 use crate::instance::Instance;
 use crate::protocols::pka_decision::{DecisionConfig, ReceiverState};
@@ -96,6 +96,194 @@ impl Payload for PkaPayload {
                     + ID_BITS * trail.len()
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte codec (rmt-netd moves real frames; the in-process runners never call
+// this). Little-endian, tag-discriminated, length-prefixed collections. Every
+// length is validated against the remaining input before allocation so
+// adversarial bytes cannot force huge allocations, and decoding never panics.
+// ---------------------------------------------------------------------------
+
+/// Wire tag for [`PkaPayload::DealerValue`].
+const TAG_DEALER_VALUE: u8 = 0;
+/// Wire tag for [`PkaPayload::Knowledge`].
+const TAG_KNOWLEDGE: u8 = 1;
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "truncated PkaPayload: {what} needs {n} bytes at offset {}, \
+                     input is {} bytes",
+                    self.pos,
+                    self.bytes.len()
+                )
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let raw = self.take(4, what)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let raw = self.take(8, what)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
+
+    /// A collection length, sanity-checked against the bytes actually left
+    /// (each element occupies at least `min_elem_bytes` on the wire).
+    fn len(&mut self, what: &str, min_elem_bytes: usize) -> Result<usize, String> {
+        let n = self.u32(what)? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(format!(
+                "corrupt PkaPayload: {what} claims {n} elements but only \
+                 {remaining} bytes remain"
+            ));
+        }
+        Ok(n)
+    }
+}
+
+fn encode_trail(trail: &[NodeId], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(trail.len() as u32).to_le_bytes());
+    for v in trail {
+        out.extend_from_slice(&v.raw().to_le_bytes());
+    }
+}
+
+fn decode_trail(c: &mut Cursor<'_>) -> Result<Vec<NodeId>, String> {
+    let n = c.len("trail length", 4)?;
+    (0..n)
+        .map(|_| Ok(NodeId::new(c.u32("trail node")?)))
+        .collect()
+}
+
+fn encode_nodeset(set: &NodeSet, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+    for v in set.iter() {
+        out.extend_from_slice(&v.raw().to_le_bytes());
+    }
+}
+
+fn decode_nodeset(c: &mut Cursor<'_>, what: &str) -> Result<NodeSet, String> {
+    let n = c.len(what, 4)?;
+    let mut set = NodeSet::new();
+    for _ in 0..n {
+        set.insert(NodeId::new(c.u32(what)?));
+    }
+    Ok(set)
+}
+
+fn encode_graph(g: &Graph, out: &mut Vec<u8>) {
+    encode_nodeset(g.nodes(), out);
+    out.extend_from_slice(&(g.edge_count() as u32).to_le_bytes());
+    for (u, v) in g.edges() {
+        out.extend_from_slice(&u.raw().to_le_bytes());
+        out.extend_from_slice(&v.raw().to_le_bytes());
+    }
+}
+
+fn decode_graph(c: &mut Cursor<'_>) -> Result<Graph, String> {
+    let nodes = decode_nodeset(c, "view node")?;
+    let mut g = Graph::new();
+    for v in nodes.iter() {
+        g.add_node(v);
+    }
+    let edges = c.len("view edge count", 8)?;
+    for _ in 0..edges {
+        let u = NodeId::new(c.u32("view edge endpoint")?);
+        let v = NodeId::new(c.u32("view edge endpoint")?);
+        if !g.contains_node(u) || !g.contains_node(v) {
+            return Err(format!(
+                "corrupt PkaPayload: view edge ({u}, {v}) references a node \
+                 absent from the view's node set"
+            ));
+        }
+        g.add_edge(u, v);
+    }
+    Ok(g)
+}
+
+fn encode_structure(z: &AdversaryStructure, out: &mut Vec<u8>) {
+    let sets = z.maximal_sets();
+    out.extend_from_slice(&(sets.len() as u32).to_le_bytes());
+    for set in sets {
+        encode_nodeset(set, out);
+    }
+}
+
+fn decode_structure(c: &mut Cursor<'_>) -> Result<AdversaryStructure, String> {
+    let n = c.len("structure set count", 4)?;
+    let mut sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        sets.push(decode_nodeset(c, "structure set node")?);
+    }
+    Ok(AdversaryStructure::from_sets(sets))
+}
+
+impl WirePayload for PkaPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PkaPayload::DealerValue { value, trail } => {
+                out.push(TAG_DEALER_VALUE);
+                out.extend_from_slice(&value.to_le_bytes());
+                encode_trail(trail, out);
+            }
+            PkaPayload::Knowledge {
+                node,
+                view,
+                structure,
+                trail,
+            } => {
+                out.push(TAG_KNOWLEDGE);
+                out.extend_from_slice(&node.raw().to_le_bytes());
+                encode_graph(view, out);
+                encode_structure(structure, out);
+                encode_trail(trail, out);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, usize), String> {
+        let mut c = Cursor::new(bytes);
+        let payload = match c.u8("payload tag")? {
+            TAG_DEALER_VALUE => PkaPayload::DealerValue {
+                value: c.u64("dealer value")?,
+                trail: decode_trail(&mut c)?,
+            },
+            TAG_KNOWLEDGE => PkaPayload::Knowledge {
+                node: NodeId::new(c.u32("knowledge node")?),
+                view: decode_graph(&mut c)?,
+                structure: decode_structure(&mut c)?,
+                trail: decode_trail(&mut c)?,
+            },
+            tag => return Err(format!("unknown PkaPayload tag {tag}")),
+        };
+        Ok((payload, c.pos))
     }
 }
 
@@ -515,5 +703,57 @@ mod tests {
             trail: vec![0.into()],
         };
         assert!(info.encoded_bits() > big.encoded_bits());
+    }
+
+    #[test]
+    fn wire_round_trip_both_message_types() {
+        let dealer = PkaPayload::DealerValue {
+            value: 0xFEED_FACE_CAFE_BEEF,
+            trail: vec![0.into(), 2.into(), 1.into()],
+        };
+        assert_eq!(PkaPayload::from_bytes(&dealer.to_bytes()), Ok(dealer));
+
+        let knowledge = PkaPayload::Knowledge {
+            node: 2.into(),
+            view: diamond(),
+            structure: AdversaryStructure::from_sets([set(&[1]), set(&[2, 3])]),
+            trail: vec![2.into()],
+        };
+        assert_eq!(PkaPayload::from_bytes(&knowledge.to_bytes()), Ok(knowledge));
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_malformed_input() {
+        // Unknown tag.
+        assert!(PkaPayload::from_bytes(&[9]).is_err());
+        // Empty input.
+        assert!(PkaPayload::from_bytes(&[]).is_err());
+        // Every truncation of a valid encoding is a descriptive error.
+        let full = PkaPayload::Knowledge {
+            node: 1.into(),
+            view: diamond(),
+            structure: AdversaryStructure::from_sets([set(&[0, 3])]),
+            trail: vec![1.into(), 0.into()],
+        }
+        .to_bytes();
+        for cut in 0..full.len() {
+            assert!(PkaPayload::from_bytes(&full[..cut]).is_err());
+        }
+        // A length field claiming more elements than bytes remain is caught
+        // before any allocation.
+        let mut bomb = vec![super::TAG_DEALER_VALUE];
+        bomb.extend_from_slice(&7u64.to_le_bytes());
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PkaPayload::from_bytes(&bomb).is_err());
+        // An edge referencing a node outside the view's node set is rejected.
+        let mut forged = Vec::new();
+        forged.push(super::TAG_KNOWLEDGE);
+        forged.extend_from_slice(&0u32.to_le_bytes()); // node
+        forged.extend_from_slice(&1u32.to_le_bytes()); // 1 view node
+        forged.extend_from_slice(&0u32.to_le_bytes()); //   v0
+        forged.extend_from_slice(&1u32.to_le_bytes()); // 1 edge
+        forged.extend_from_slice(&0u32.to_le_bytes()); //   (v0,
+        forged.extend_from_slice(&5u32.to_le_bytes()); //    v5) — absent
+        assert!(PkaPayload::from_bytes(&forged).is_err());
     }
 }

@@ -27,12 +27,29 @@ use rmt_sets::{NodeId, NodeSet};
 /// assert!(g.has_edge(5.into(), 0.into()));
 /// assert_eq!(g.neighbors(0.into()), &NodeSet::singleton(5.into()));
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct Graph {
     nodes: NodeSet,
     adj: Vec<NodeSet>,
     edge_count: usize,
 }
+
+/// Equality is semantic — same present nodes, same edges — regardless of how
+/// the graph was built. The adjacency vector's length is a storage artifact
+/// (an induced subgraph keeps the parent's span, a graph rebuilt from a wire
+/// encoding ends at its highest node), and must not distinguish graphs.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.edge_count == other.edge_count
+            && self
+                .nodes
+                .iter()
+                .all(|v| self.adj[v.index()] == other.adj[v.index()])
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph (no nodes, no edges).
@@ -238,6 +255,26 @@ impl fmt::Debug for Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn equality_ignores_adjacency_span() {
+        // An induced subgraph keeps the parent's adjacency span; a graph
+        // rebuilt edge by edge ends at its highest node. Same nodes, same
+        // edges — must be equal.
+        let mut parent = Graph::with_nodes(6);
+        parent.add_edge(0.into(), 1.into());
+        parent.add_edge(4.into(), 5.into());
+        let view = parent.induced(&set(&[0, 1]));
+        let mut rebuilt = Graph::new();
+        rebuilt.add_edge(0.into(), 1.into());
+        assert_eq!(view, rebuilt);
+        assert_eq!(rebuilt, view);
+        // And a genuinely different edge set stays unequal.
+        let mut other = Graph::new();
+        other.add_node(0.into());
+        other.add_node(1.into());
+        assert_ne!(view, other);
+    }
 
     fn set(ids: &[u32]) -> NodeSet {
         ids.iter().copied().collect()

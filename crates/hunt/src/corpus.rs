@@ -53,6 +53,12 @@ impl Fixture {
 
     /// Decodes and validates a fixture.
     pub fn from_json(v: &Json) -> Result<Self, PlanError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::new(
+                "fixture",
+                "expected a JSON object at the top level",
+            ));
+        }
         match v.get("schema") {
             Some(Json::Int(n)) if *n == SCHEMA => {}
             Some(Json::Int(n)) => {
@@ -67,6 +73,20 @@ impl Fixture {
             .as_str()
             .ok_or_else(|| PlanError::new("name", "expected a string"))?
             .to_string();
+        if name.is_empty() {
+            return Err(PlanError::new("name", "must not be empty"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            // `save` joins the name onto the corpus directory; anything
+            // beyond a plain file stem could escape it.
+            return Err(PlanError::new(
+                "name",
+                format!("{name:?} is not a plain file stem ([A-Za-z0-9_.-] only)"),
+            ));
+        }
         let spec = InstanceSpec::from_json(field(v, "spec", "")?, "spec.")?;
         let input = u64_from_json(field(v, "input", "")?, "input")?;
         let genome = AttackGenome::from_json(field(v, "genome", "")?)?;
@@ -87,9 +107,26 @@ impl Fixture {
 
     /// Parses a fixture from JSON text.
     pub fn from_json_str(text: &str) -> Result<Self, PlanError> {
+        if text.trim().is_empty() {
+            return Err(PlanError::new(
+                "fixture",
+                "empty file (truncated write or placeholder?)",
+            ));
+        }
         let v = Json::parse(text)
             .map_err(|e| PlanError::new("fixture", format!("invalid JSON: {e:?}")))?;
         Fixture::from_json(&v)
+    }
+
+    /// Loads one fixture file. Every failure mode a committed corpus can
+    /// hit — unreadable file, non-UTF-8 bytes, truncated or corrupt JSON,
+    /// a drifted schema — comes back as a descriptive error prefixed with
+    /// the path, never a panic: a broken fixture must name itself.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let bytes = fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text =
+            String::from_utf8(bytes).map_err(|e| format!("{}: not UTF-8 ({e})", path.display()))?;
+        Fixture::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
     /// Rebuilds the instance and re-executes the genome, returning the
@@ -126,11 +163,7 @@ pub fn load_dir(dir: &Path) -> Result<Vec<Fixture>, String> {
     paths.sort();
     let mut fixtures = Vec::with_capacity(paths.len());
     for path in paths {
-        let text =
-            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let fixture =
-            Fixture::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        fixtures.push(fixture);
+        fixtures.push(Fixture::load(&path)?);
     }
     Ok(fixtures)
 }
@@ -193,6 +226,77 @@ mod tests {
         assert_eq!(loaded[0].genome, f.genome);
         assert_eq!(loaded[0].replay().verdict, f.verdict);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every malformed-fixture shape a committed corpus can realistically
+    /// hit loads as a *descriptive error*, never a panic, and the error
+    /// names the file so a broken corpus entry identifies itself.
+    #[test]
+    fn malformed_fixtures_load_as_descriptive_errors() {
+        let dir = std::env::temp_dir().join(format!("rmt_hunt_badcorpus_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let valid = fixture().to_json().encode();
+        let truncated = &valid[..valid.len() / 2];
+        let cases: &[(&str, Vec<u8>, &str)] = &[
+            ("empty.json", b"".to_vec(), "empty file"),
+            ("garbage.json", b"not json at all".to_vec(), "invalid JSON"),
+            (
+                "truncated.json",
+                truncated.as_bytes().to_vec(),
+                "invalid JSON",
+            ),
+            ("binary.json", vec![0xFF, 0xFE, 0x00, 0x80], "not UTF-8"),
+            ("toplevel.json", b"[1,2,3]".to_vec(), "top level"),
+            (
+                "drifted.json",
+                valid
+                    .replacen("\"schema\":1", "\"schema\":2", 1)
+                    .into_bytes(),
+                "unsupported corpus schema 2",
+            ),
+            (
+                "missing_genome.json",
+                valid.replacen("\"genome\"", "\"gnome\"", 1).into_bytes(),
+                "genome",
+            ),
+            (
+                "bad_verdict.json",
+                valid.replacen("\"stalled\"", "\"maybe\"", 1).into_bytes(),
+                "verdict",
+            ),
+        ];
+        for (file, bytes, expect) in cases {
+            let path = dir.join(file);
+            fs::write(&path, bytes).unwrap();
+            let err = Fixture::load(&path).unwrap_err();
+            assert!(
+                err.contains(expect),
+                "{file}: error {err:?} should mention {expect:?}"
+            );
+            assert!(
+                err.contains(file),
+                "{file}: error {err:?} should name the file"
+            );
+            // One malformed fixture poisons the whole directory load, too —
+            // silently skipping it would un-guard a regression.
+            assert!(load_dir(&dir).is_err());
+            fs::remove_file(&path).unwrap();
+        }
+        // With the bad files gone the directory is loadable again.
+        assert!(load_dir(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A name that is not a plain file stem is rejected before `save` could
+    /// ever join it onto the corpus directory.
+    #[test]
+    fn path_escaping_names_are_rejected() {
+        for bad in ["../escape", "a/b", "", "nul\0byte"] {
+            let mut f = fixture();
+            f.name = bad.to_string();
+            let err = Fixture::from_json_str(&f.to_json().encode()).unwrap_err();
+            assert!(err.field.contains("name"), "{bad:?}: got {err}");
+        }
     }
 
     #[test]

@@ -90,6 +90,9 @@ fn kind_and_round(ev: &RunEvent) -> Option<(&'static str, u32)> {
         RunEvent::FaultDelay { round, .. } => Some(("delay", *round)),
         RunEvent::FaultDuplicate { round, .. } => Some(("duplicate", *round)),
         RunEvent::NodeCrashed { round, .. } => Some(("crash", *round)),
+        RunEvent::ConnUp { round, .. } => Some(("conn_up", *round)),
+        RunEvent::ConnDown { round, .. } => Some(("conn_down", *round)),
+        RunEvent::ConnRetry { round, .. } => Some(("conn_retry", *round)),
         RunEvent::Decision { round, .. } => Some(("decision", *round)),
         RunEvent::RunStart { .. }
         | RunEvent::RoundStart { .. }

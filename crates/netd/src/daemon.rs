@@ -1,0 +1,118 @@
+//! Hosting many concurrent sessions in one process.
+//!
+//! The `rmt-netd` binary (and the chaos test suite) run whole fleets of
+//! sessions at once; each session already spawns a thread per node plus a
+//! few per link, so the daemon bounds *session*-level concurrency and lets
+//! the sessions' own threads breathe underneath. Jobs are plain closures —
+//! the daemon is protocol-agnostic and owns no session state — and results
+//! come back in submission order, tagged with the job's name.
+
+use std::thread;
+
+/// Runs batches of named session jobs with bounded concurrency.
+#[derive(Clone, Copy, Debug)]
+pub struct Daemon {
+    max_concurrent: usize,
+}
+
+impl Daemon {
+    /// A daemon running at most `max_concurrent` sessions at once
+    /// (minimum 1).
+    pub fn new(max_concurrent: usize) -> Self {
+        Daemon {
+            max_concurrent: max_concurrent.max(1),
+        }
+    }
+
+    /// Runs every job, at most `max_concurrent` concurrently, and returns
+    /// `(name, result)` in submission order. A job that panics yields
+    /// `None` for its slot instead of poisoning the batch.
+    pub fn run<R, F>(&self, jobs: Vec<(String, F)>) -> Vec<(String, Option<R>)>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut batch: Vec<(String, thread::JoinHandle<R>)> = Vec::new();
+        let drain = |batch: &mut Vec<(String, thread::JoinHandle<R>)>,
+                     out: &mut Vec<(String, Option<R>)>| {
+            for (name, handle) in batch.drain(..) {
+                out.push((name, handle.join().ok()));
+            }
+        };
+        for (name, job) in jobs {
+            if batch.len() >= self.max_concurrent {
+                drain(&mut batch, &mut out);
+            }
+            batch.push((name, thread::spawn(job)));
+        }
+        drain(&mut batch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosPlan;
+    use crate::link::NetdConfig;
+    use crate::session::run_session;
+    use rmt_graph::generators;
+    use rmt_net::Termination;
+    use rmt_sets::NodeSet;
+    use rmt_sim::testing::Flood;
+    use rmt_sim::SilentAdversary;
+
+    /// Four concurrent socket-backed flood sessions in one process: all
+    /// quiesce and every node decides the dealer's value.
+    #[test]
+    fn daemon_hosts_concurrent_sessions() {
+        let jobs: Vec<(String, _)> = (0..4u64)
+            .map(|i| {
+                let name = format!("flood-{i}");
+                let job = move || {
+                    let g = generators::cycle(5);
+                    run_session(
+                        g,
+                        |v| Flood::new(v, (v.index() == 0).then_some(40 + i)),
+                        SilentAdversary::new(NodeSet::new()),
+                        &ChaosPlan::new(),
+                        NetdConfig {
+                            seed: i,
+                            ..NetdConfig::default()
+                        },
+                    )
+                    .expect("session io")
+                };
+                (name, job)
+            })
+            .collect();
+        let results = Daemon::new(2).run(jobs);
+        assert_eq!(results.len(), 4);
+        for (i, (name, outcome)) in results.into_iter().enumerate() {
+            assert_eq!(name, format!("flood-{i}"));
+            let outcome = outcome.expect("no panic");
+            assert!(matches!(outcome.termination, Termination::Quiesced { .. }));
+            for v in 0..5u32 {
+                assert_eq!(
+                    outcome.decision(v.into()),
+                    Some(40 + i as u64),
+                    "{name} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_survives_a_panicking_job() {
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = vec![
+            ("ok".to_string(), Box::new(|| 1)),
+            ("boom".to_string(), Box::new(|| panic!("job panic"))),
+            ("ok2".to_string(), Box::new(|| 2)),
+        ];
+        let results = Daemon::new(3).run(jobs);
+        assert_eq!(results[0].1, Some(1));
+        assert_eq!(results[1].1, None);
+        assert_eq!(results[2].1, Some(2));
+    }
+}

@@ -1,0 +1,445 @@
+//! The length-prefixed wire protocol spoken on every link.
+//!
+//! A frame on the wire is a little-endian `u32` length followed by exactly
+//! that many body bytes; the body is a tag byte plus tag-specific fields.
+//! Lengths are capped at [`MAX_FRAME_BYTES`], so a corrupt length field
+//! cannot force a giant allocation, and every decode path returns a
+//! [`FrameError`] — never a panic — on truncated, corrupt or adversarial
+//! input (the `frame_props` proptest suite feeds this decoder arbitrary and
+//! bit-flipped bytes).
+//!
+//! Sequencing model: each direction of a link numbers its [`Frame::Msg`]
+//! frames independently from 1 with `seq`; the receiver acknowledges with a
+//! cumulative [`Frame::Ack`], which lets the sender trim its retransmit
+//! buffer. After a reconnect each side's [`Frame::Hello`] carries the next
+//! `seq` it expects, so the peer replays exactly the unacknowledged suffix
+//! and duplicates are discarded by the `seq <= last_seen` check.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame body, in bytes.
+///
+/// Generous for every payload in this workspace (a full `Knowledge` message
+/// on a 64-node graph is a few KiB) while keeping a corrupt length field
+/// harmless.
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the announced length (or before the length
+    /// prefix itself was complete).
+    Truncated {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// The announced body length.
+        announced: usize,
+    },
+    /// The body's first byte is not a known frame tag.
+    BadTag(u8),
+    /// The body's fields do not fill the announced length exactly.
+    BadBody {
+        /// The offending tag.
+        tag: u8,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            FrameError::TooLarge { announced } => {
+                write!(
+                    f,
+                    "frame length {announced} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            FrameError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            FrameError::BadBody { tag, detail } => {
+                write!(f, "malformed body for frame tag {tag}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One frame of the link protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection (and reconnection) handshake: identifies the session and
+    /// the directed link, and tells the peer the next `seq` this side
+    /// expects to *receive*, so the peer can replay its unacked suffix.
+    Hello {
+        /// The session this link belongs to.
+        session: u64,
+        /// The sender of this Hello.
+        from: u32,
+        /// The intended peer.
+        to: u32,
+        /// Next `Msg.seq` this side expects from the peer.
+        expect_seq: u64,
+    },
+    /// A protocol message. `seq` is the per-direction retransmit sequence
+    /// number; `admission` is the coordinator's global admission index,
+    /// which the receiver uses to reconstruct the deterministic delivery
+    /// order; `round` is the send round.
+    Msg {
+        /// The round the message was sent in.
+        round: u32,
+        /// Per-direction sequence number (1-based).
+        seq: u64,
+        /// Global admission index assigned by the session coordinator.
+        admission: u64,
+        /// The encoded payload ([`rmt_sim::WirePayload`] bytes).
+        payload: Vec<u8>,
+    },
+    /// Cumulative acknowledgement: every `Msg` with `seq <= cum_seq` has
+    /// been processed and can leave the peer's retransmit buffer.
+    Ack {
+        /// Highest contiguously processed sequence number.
+        cum_seq: u64,
+    },
+    /// Liveness probe, sent when a link is idle.
+    Heartbeat {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Reply to a [`Frame::Heartbeat`], echoing its nonce.
+    HeartbeatAck {
+        /// The probed nonce.
+        nonce: u64,
+    },
+    /// Orderly shutdown of the link.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_MSG: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_HEARTBEAT_ACK: u8 = 5;
+const TAG_BYE: u8 = 6;
+
+impl Frame {
+    /// Appends the length-prefixed encoding of this frame to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0; 4]); // length placeholder
+        match self {
+            Frame::Hello {
+                session,
+                from,
+                to,
+                expect_seq,
+            } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
+                out.extend_from_slice(&expect_seq.to_le_bytes());
+            }
+            Frame::Msg {
+                round,
+                seq,
+                admission,
+                payload,
+            } => {
+                out.push(TAG_MSG);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&admission.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Frame::Ack { cum_seq } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&cum_seq.to_le_bytes());
+            }
+            Frame::Heartbeat { nonce } => {
+                out.push(TAG_HEARTBEAT);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Frame::HeartbeatAck { nonce } => {
+                out.push(TAG_HEARTBEAT_ACK);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Frame::Bye => out.push(TAG_BYE),
+        }
+        let body_len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning it with the
+    /// number of bytes consumed. Never panics on any input.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if bytes.len() < 4 {
+            return Err(FrameError::Truncated {
+                needed: 4,
+                got: bytes.len(),
+            });
+        }
+        let body_len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge {
+                announced: body_len,
+            });
+        }
+        if bytes.len() < 4 + body_len {
+            return Err(FrameError::Truncated {
+                needed: 4 + body_len,
+                got: bytes.len(),
+            });
+        }
+        let body = &bytes[4..4 + body_len];
+        let frame = Self::decode_body(body)?;
+        Ok((frame, 4 + body_len))
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let (&tag, rest) = body
+            .split_first()
+            .ok_or(FrameError::Truncated { needed: 1, got: 0 })?;
+        let bad = |detail: String| FrameError::BadBody { tag, detail };
+        let exact = |want: usize| -> Result<(), FrameError> {
+            if rest.len() == want {
+                Ok(())
+            } else {
+                Err(FrameError::BadBody {
+                    tag,
+                    detail: format!("body is {} bytes, tag needs {}", rest.len(), want),
+                })
+            }
+        };
+        let u32_at = |off: usize| -> u32 {
+            u32::from_le_bytes(rest[off..off + 4].try_into().expect("4 bytes"))
+        };
+        let u64_at = |off: usize| -> u64 {
+            u64::from_le_bytes(rest[off..off + 8].try_into().expect("8 bytes"))
+        };
+        match tag {
+            TAG_HELLO => {
+                exact(8 + 4 + 4 + 8)?;
+                Ok(Frame::Hello {
+                    session: u64_at(0),
+                    from: u32_at(8),
+                    to: u32_at(12),
+                    expect_seq: u64_at(16),
+                })
+            }
+            TAG_MSG => {
+                if rest.len() < 4 + 8 + 8 + 4 {
+                    return Err(bad(format!(
+                        "Msg header needs 24 bytes, body has {}",
+                        rest.len()
+                    )));
+                }
+                let payload_len = u32_at(20) as usize;
+                if rest.len() != 24 + payload_len {
+                    return Err(bad(format!(
+                        "Msg announces a {payload_len}-byte payload but {} bytes follow",
+                        rest.len() - 24
+                    )));
+                }
+                Ok(Frame::Msg {
+                    round: u32_at(0),
+                    seq: u64_at(4),
+                    admission: u64_at(12),
+                    payload: rest[24..].to_vec(),
+                })
+            }
+            TAG_ACK => {
+                exact(8)?;
+                Ok(Frame::Ack { cum_seq: u64_at(0) })
+            }
+            TAG_HEARTBEAT => {
+                exact(8)?;
+                Ok(Frame::Heartbeat { nonce: u64_at(0) })
+            }
+            TAG_HEARTBEAT_ACK => {
+                exact(8)?;
+                Ok(Frame::HeartbeatAck { nonce: u64_at(0) })
+            }
+            TAG_BYE => {
+                exact(0)?;
+                Ok(Frame::Bye)
+            }
+            other => Err(FrameError::BadTag(other)),
+        }
+    }
+
+    /// Writes this frame to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Reads exactly one frame from a stream.
+    ///
+    /// A clean EOF before the first byte maps to `ErrorKind::UnexpectedEof`;
+    /// a decode failure maps to `ErrorKind::InvalidData` carrying the
+    /// [`FrameError`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let body_len = u32::from_le_bytes(len_buf) as usize;
+        if body_len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                FrameError::TooLarge {
+                    announced: body_len,
+                },
+            ));
+        }
+        let mut body = vec![0u8; body_len];
+        r.read_exact(&mut body)?;
+        Self::decode_body(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                session: 0xFACE,
+                from: 1,
+                to: 2,
+                expect_seq: 41,
+            },
+            Frame::Msg {
+                round: 3,
+                seq: 9,
+                admission: 77,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Frame::Msg {
+                round: 0,
+                seq: 1,
+                admission: 0,
+                payload: Vec::new(),
+            },
+            Frame::Ack { cum_seq: 12 },
+            Frame::Heartbeat { nonce: 0xBEE },
+            Frame::HeartbeatAck { nonce: 0xBEE },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in samples() {
+            let bytes = frame.to_bytes();
+            let (back, used) = Frame::decode(&bytes).expect("round trip");
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let mut wire = Vec::new();
+        for frame in samples() {
+            frame.encode(&mut wire);
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < wire.len() {
+            let (frame, used) = Frame::decode(&wire[at..]).expect("stream decode");
+            decoded.push(frame);
+            at += used;
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn truncations_error_without_panicking() {
+        for frame in samples() {
+            let bytes = frame.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(Frame::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.push(TAG_BYE);
+        assert_eq!(
+            Frame::decode(&wire),
+            Err(FrameError::TooLarge {
+                announced: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_bodies_are_descriptive() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(99);
+        assert_eq!(Frame::decode(&wire), Err(FrameError::BadTag(99)));
+
+        // Ack with a short body.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.push(TAG_ACK);
+        wire.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(FrameError::BadBody { tag: TAG_ACK, .. })
+        ));
+
+        // Msg whose payload length disagrees with the frame length.
+        let msg = Frame::Msg {
+            round: 1,
+            seq: 1,
+            admission: 1,
+            payload: vec![7; 8],
+        };
+        let mut bytes = msg.to_bytes();
+        let len = bytes.len();
+        bytes.truncate(len - 2);
+        let body_len = (len - 4 - 2) as u32;
+        bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::BadBody { tag: TAG_MSG, .. })
+        ));
+    }
+
+    #[test]
+    fn stream_io_round_trips() {
+        let mut wire = Vec::new();
+        for frame in samples() {
+            frame.write_to(&mut wire).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for expected in samples() {
+            assert_eq!(Frame::read_from(&mut cursor).expect("read"), expected);
+        }
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

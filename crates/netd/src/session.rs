@@ -1,0 +1,778 @@
+//! One RMT session over real sockets.
+//!
+//! The coordinator owns the *model*: it admits every send through the same
+//! [`Transport`] seam as the deterministic schedulers, assigns each admitted
+//! message a global admission index, and emits the canonical event stream
+//! (`RoundStart` → deliveries → honest sends in ascending node order →
+//! adversarial sends → decisions). The *mechanism* is real: payload bytes
+//! are encoded by the sending node task, cross a TCP socket, and are decoded
+//! from the received bytes before delivery. Delivery order is recovered by
+//! sorting arrivals on the admission index each frame carries, which equals
+//! the tie-break order of `rmt-net`'s `NetRunner` — so a fault-free loopback
+//! session produces an event stream byte-identical to `NetRunner` under an
+//! empty `FaultPlan` (the differential gate in `tests/differential.rs`
+//! checks exactly this).
+//!
+//! Faults come from a [`ChaosPlan`] applied at round starts. Three kinds of
+//! message loss exist, all explicit, none silent: a bounded queue sheds with
+//! `Backpressure` (link up, in-flight window full) or `PeerDown` (link down,
+//! queue at budget, or the retry budget exhausted), and a kill discards the
+//! dead process's queued messages as `SenderCrashed`. Every loss surfaces as
+//! a `FaultDrop` event and is counted. Messages queued behind a severed link
+//! are *not* lost: the link replays its unacknowledged suffix on restore and
+//! the coordinator delivers them in the round after they finally arrive —
+//! liveness is delayed, never silently destroyed.
+//!
+//! Sends to corrupted and currently-dead recipients short-circuit the
+//! physical layer (the coordinator files them as arrivals directly):
+//! corrupted nodes have no task — they exist only inside the [`Adversary`]
+//! — and a dead recipient's delivery is a modelling decision (the network
+//! delivered; the dead process just does not act), mirroring how the
+//! deterministic schedulers treat crashed receivers. Adversarial envelopes
+//! are likewise injected at the model layer.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rmt_graph::Graph;
+use rmt_net::Termination;
+use rmt_obs::{NoopObserver, RunEvent, RunObserver};
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{
+    default_max_rounds, Adversary, Envelope, Metrics, Protocol, RoundInboxes, Transport,
+    WirePayload,
+};
+
+use crate::chaos::ChaosPlan;
+use crate::link::{sink_over, Link, LinkEvent, NetdConfig, TxResult};
+use crate::node::{node_task, NodeCmd, Report};
+use crate::stats::NetdStats;
+
+/// The result of one socket-backed session.
+pub struct SessionOutcome<Q: Protocol> {
+    protocols: Vec<Option<Q>>,
+    corrupted: NodeSet,
+    /// Protocol-level complexity metrics, same accounting as the
+    /// deterministic runners.
+    pub metrics: Metrics,
+    /// Whether the session quiesced or stalled.
+    pub termination: Termination,
+    /// Transport counters (dials, retries, sheds, retransmits, …).
+    pub stats: Arc<NetdStats>,
+    /// Connection-lifecycle events, kept out of the canonical stream so
+    /// fault-free transcripts stay comparable across backends.
+    pub diagnostics: Vec<RunEvent>,
+    /// Messages destroyed by sheds (each also emitted as a `FaultDrop`).
+    pub losses: u64,
+    /// Human-readable diagnosis when the session stalled on the wire.
+    pub stall: Option<String>,
+}
+
+impl<Q: Protocol> SessionOutcome<Q> {
+    /// The decision of node `v`, if it is honest and has decided.
+    pub fn decision(&self, v: NodeId) -> Option<Q::Decision> {
+        self.protocols
+            .get(v.index())
+            .and_then(Option::as_ref)
+            .and_then(Protocol::decision)
+    }
+
+    /// The final protocol state of honest node `v`.
+    pub fn protocol(&self, v: NodeId) -> Option<&Q> {
+        self.protocols.get(v.index()).and_then(Option::as_ref)
+    }
+
+    /// The corrupted set of the run.
+    pub fn corrupted(&self) -> &NodeSet {
+        &self.corrupted
+    }
+}
+
+/// Runs one session without observation.
+pub fn run_session<Q, A>(
+    graph: Graph,
+    make: impl FnMut(NodeId) -> Q,
+    adversary: A,
+    chaos: &ChaosPlan,
+    cfg: NetdConfig,
+) -> std::io::Result<SessionOutcome<Q>>
+where
+    Q: Protocol + Send + 'static,
+    Q::Payload: WirePayload + Send + 'static,
+    A: Adversary<Q::Payload>,
+{
+    run_session_observed(graph, make, adversary, chaos, cfg, &mut NoopObserver)
+}
+
+/// Everything the coordinator tracks across one session.
+struct Coordinator<Q: Protocol> {
+    graph: Graph,
+    size: usize,
+    corrupted: NodeSet,
+    honest: Vec<NodeId>,
+    dead: Vec<bool>,
+    cmd_txs: BTreeMap<NodeId, Sender<NodeCmd<Q::Payload>>>,
+    reports: Receiver<Report<Q::Payload>>,
+    /// Messages that arrived (physically or virtually) and await the next
+    /// round's delivery, keyed by admission index.
+    arrivals: Vec<(u64, Envelope<Q::Payload>)>,
+    /// Queued messages still owed by some link: `admission → (from, to)`.
+    outstanding: BTreeMap<u64, (NodeId, NodeId)>,
+    /// Routes of admitted messages still in flight, for arrival validation.
+    routes: HashMap<u64, (NodeId, NodeId)>,
+    /// Admissions already arrived (defence against duplicate delivery).
+    seen: HashSet<u64>,
+    /// Admissions written to sockets this round; the round fence waits on
+    /// them.
+    expected: HashSet<u64>,
+    diagnostics: Vec<RunEvent>,
+    metrics: Metrics,
+    decided: Vec<bool>,
+    latest_decision: Vec<Option<String>>,
+    next_admission: u64,
+    losses: u64,
+    round: u32,
+    round_atomic: Arc<AtomicU32>,
+    cfg: NetdConfig,
+    stats: Arc<NetdStats>,
+}
+
+impl<Q> Coordinator<Q>
+where
+    Q: Protocol + Send + 'static,
+    Q::Payload: WirePayload + Send + 'static,
+{
+    fn cmd(&self, v: NodeId, cmd: NodeCmd<Q::Payload>) {
+        if let Some(tx) = self.cmd_txs.get(&v) {
+            let _ = tx.send(cmd);
+        }
+    }
+
+    fn is_live(&self, v: NodeId) -> bool {
+        !self.corrupted.contains(v) && !self.dead[v.index()]
+    }
+
+    /// Absorbs one physical-layer event. Arrival validation is defensive:
+    /// an admission must be in flight and not yet seen, and its frame must
+    /// decode — anything else is counted and dropped, never delivered.
+    fn handle_net<O: RunObserver>(&mut self, ev: LinkEvent, observer: &mut O) {
+        match ev {
+            LinkEvent::Received {
+                from,
+                to,
+                admission,
+                bytes,
+                ..
+            } => {
+                if self.routes.get(&admission) != Some(&(from, to))
+                    || self.seen.contains(&admission)
+                {
+                    self.stats.decode_errors();
+                    return;
+                }
+                match Q::Payload::from_bytes(&bytes) {
+                    Ok(payload) => {
+                        self.seen.insert(admission);
+                        self.expected.remove(&admission);
+                        self.outstanding.remove(&admission);
+                        self.arrivals
+                            .push((admission, Envelope::new(from, to, payload)));
+                    }
+                    Err(_) => {
+                        // A corrupt frame is a loss, not a crash.
+                        self.stats.decode_errors();
+                        self.expected.remove(&admission);
+                        self.outstanding.remove(&admission);
+                        self.routes.remove(&admission);
+                        self.losses += 1;
+                        if O::ACTIVE {
+                            observer.on_event(&RunEvent::FaultDrop {
+                                round: self.round,
+                                from: from.raw(),
+                                to: to.raw(),
+                                reason: rmt_obs::DropReason::LinkDrop,
+                            });
+                        }
+                    }
+                }
+            }
+            LinkEvent::Shed {
+                from,
+                to,
+                admissions,
+                reason,
+            } => {
+                for admission in admissions {
+                    self.expected.remove(&admission);
+                    self.outstanding.remove(&admission);
+                    self.routes.remove(&admission);
+                    self.losses += 1;
+                    if O::ACTIVE {
+                        observer.on_event(&RunEvent::FaultDrop {
+                            round: self.round,
+                            from: from.raw(),
+                            to: to.raw(),
+                            reason,
+                        });
+                    }
+                }
+            }
+            LinkEvent::Conn(ev) => self.diagnostics.push(ev),
+        }
+    }
+
+    /// Receives reports until `want` protocol reports of one kind arrived
+    /// (selected by `pick`), handling physical-layer events inline.
+    fn collect<T, O: RunObserver>(
+        &mut self,
+        want: usize,
+        deadline: Instant,
+        observer: &mut O,
+        pick: impl Fn(Report<Q::Payload>) -> Result<T, LinkEvent>,
+    ) -> Result<Vec<T>, String> {
+        let mut got = Vec::with_capacity(want);
+        while got.len() < want {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.reports.recv_timeout(timeout) {
+                Ok(report) => match pick(report) {
+                    Ok(item) => got.push(item),
+                    Err(net) => self.handle_net(net, observer),
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(format!(
+                        "round {}: {} of {} node reports missing",
+                        self.round,
+                        want - got.len(),
+                        want
+                    ));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(format!("round {}: all node tasks gone", self.round));
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// Waits until every admission written to a socket this round has been
+    /// received (or shed) on the far side.
+    fn fence<O: RunObserver>(&mut self, observer: &mut O) -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.round_timeout_ms);
+        while !self.expected.is_empty() {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match self.reports.recv_timeout(timeout) {
+                Ok(Report::Net(ev)) => self.handle_net(ev, observer),
+                Ok(_) => {} // no protocol reports are pending during a fence
+                Err(RecvTimeoutError::Timeout) => return Err(self.stall_diagnosis()),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(format!("round {}: all node tasks gone", self.round))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Paces the round loop against physical healing: while messages sit
+    /// queued behind down links (`outstanding`), nothing has arrived, and
+    /// the chaos schedule is exhausted, logical rounds are free to burn at
+    /// CPU speed — far faster than a reconnect's backoff can complete. So
+    /// the coordinator waits here, draining physical-layer events, until a
+    /// replay lands, the queue sheds, or the session-wide budget runs out.
+    fn await_healing<O: RunObserver>(&mut self, budget: &mut Duration, observer: &mut O) {
+        while !budget.is_zero() && self.arrivals.is_empty() && !self.outstanding.is_empty() {
+            let slice = (*budget).min(Duration::from_millis(20));
+            let start = Instant::now();
+            match self.reports.recv_timeout(slice) {
+                Ok(Report::Net(ev)) => self.handle_net(ev, observer),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            *budget = budget.saturating_sub(start.elapsed());
+        }
+    }
+
+    fn stall_diagnosis(&self) -> String {
+        let mut missing: Vec<String> = self
+            .expected
+            .iter()
+            .map(|adm| match self.routes.get(adm) {
+                Some((from, to)) => format!("#{adm} v{} -> v{}", from.raw(), to.raw()),
+                None => format!("#{adm} (route unknown)"),
+            })
+            .collect();
+        missing.sort();
+        format!(
+            "round {} fence timed out after {}ms: {} message(s) written but never received [{}]; \
+             {} queued behind down links",
+            self.round,
+            self.cfg.round_timeout_ms,
+            missing.len(),
+            missing.join(", "),
+            self.outstanding.len(),
+        )
+    }
+
+    /// Applies the chaos plan's round-`round` entries: crash events first
+    /// (ascending, matching `NetRunner`), then the physical commands.
+    fn apply_chaos<O: RunObserver>(&mut self, chaos: &ChaosPlan, round: u32, observer: &mut O) {
+        for v in chaos.kills_at(round) {
+            if !self.cmd_txs.contains_key(&v) || self.dead[v.index()] {
+                continue;
+            }
+            if O::ACTIVE {
+                observer.on_event(&RunEvent::NodeCrashed {
+                    round,
+                    node: v.raw(),
+                });
+            }
+            self.dead[v.index()] = true;
+            self.cmd(v, NodeCmd::Kill);
+        }
+        for v in chaos.restarts_at(round) {
+            if !self.cmd_txs.contains_key(&v) || !self.dead[v.index()] {
+                continue;
+            }
+            self.dead[v.index()] = false;
+            self.cmd(v, NodeCmd::Restart);
+            for u in self.graph.neighbors(v).iter() {
+                if self.cmd_txs.contains_key(&u) {
+                    self.cmd(u, NodeCmd::Revive(v));
+                }
+            }
+        }
+        for w in chaos.severs() {
+            if w.from_round == round {
+                self.cmd(w.a, NodeCmd::Sever(w.b));
+                self.cmd(w.b, NodeCmd::Sever(w.a));
+            }
+            if round > 0 && w.to_round == round - 1 {
+                self.cmd(w.a, NodeCmd::Restore(w.b));
+                self.cmd(w.b, NodeCmd::Restore(w.a));
+            }
+        }
+    }
+
+    /// Emits `Decision` events for nodes newly decided, ascending.
+    fn sweep<O: RunObserver>(&mut self, round: u32, observer: &mut O) {
+        for v in self.graph.nodes() {
+            if self.decided[v.index()] {
+                continue;
+            }
+            if let Some(value) = self.latest_decision[v.index()].clone() {
+                self.decided[v.index()] = true;
+                observer.on_event(&RunEvent::Decision {
+                    round,
+                    node: v.raw(),
+                    value,
+                });
+            }
+        }
+    }
+
+    /// Runs one full round: deliver, step protocols, admit, transmit,
+    /// fence, sweep. Mirrors the deterministic schedulers' phase order.
+    fn run_round<A, O>(
+        &mut self,
+        adversary: &mut A,
+        round: u32,
+        observer: &mut O,
+    ) -> Result<(), String>
+    where
+        A: Adversary<Q::Payload>,
+        O: RunObserver,
+    {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.round_timeout_ms);
+
+        // Deliveries: everything that arrived before this round, in
+        // admission order (the deterministic runners' tie-break order).
+        let mut delivered = RoundInboxes::new(self.size);
+        self.arrivals.sort_by_key(|&(adm, _)| adm);
+        for (adm, env) in std::mem::take(&mut self.arrivals) {
+            self.routes.remove(&adm);
+            if O::ACTIVE {
+                observer.on_event(&RunEvent::Delivery {
+                    round,
+                    from: env.from.raw(),
+                    to: env.to.raw(),
+                    payload: format!("{:?}", env.payload),
+                });
+            }
+            delivered.push(env);
+        }
+
+        // Protocol step on every live honest node.
+        let live: Vec<NodeId> = self
+            .honest
+            .iter()
+            .copied()
+            .filter(|&v| !self.dead[v.index()])
+            .collect();
+        for &v in &live {
+            self.cmd(
+                v,
+                NodeCmd::Round {
+                    round,
+                    inbox: delivered.inbox(v).to_vec(),
+                },
+            );
+        }
+        let sends = self.collect(live.len(), deadline, observer, |report| match report {
+            Report::Sends {
+                node,
+                sends,
+                decided,
+            } => Ok((node, sends, decided)),
+            Report::Net(ev) => Err(ev),
+            Report::TxStatus { .. } => unreachable!("no transmit outstanding"),
+        })?;
+        type NodeSends<P> = BTreeMap<NodeId, (Vec<(NodeId, P)>, Option<String>)>;
+        let mut by_node: NodeSends<Q::Payload> = BTreeMap::new();
+        for (node, s, d) in sends {
+            by_node.insert(node, (s, d));
+        }
+
+        // Admission in ascending node order, exactly as the deterministic
+        // runners iterate. Each admitted envelope gets the next global
+        // admission index; physical transmission only happens between live
+        // honest endpoints.
+        let mut honest_this_round = 0u64;
+        let mut transmit: BTreeMap<NodeId, Vec<(NodeId, u64, Q::Payload)>> =
+            live.iter().map(|&v| (v, Vec::new())).collect();
+        for (&v, (node_sends, node_decided)) in &mut by_node {
+            self.latest_decision[v.index()] = node_decided.take();
+            let envs = Transport::new(&self.graph).admit_honest(
+                round,
+                v,
+                std::mem::take(node_sends),
+                &mut self.metrics,
+                &mut honest_this_round,
+                observer,
+            );
+            for env in envs {
+                let adm = self.next_admission;
+                self.next_admission += 1;
+                self.routes.insert(adm, (env.from, env.to));
+                if self.is_live(env.to) {
+                    transmit.get_mut(&v).expect("sender is live").push((
+                        env.to,
+                        adm,
+                        env.payload.clone(),
+                    ));
+                    self.outstanding.insert(adm, (env.from, env.to));
+                } else {
+                    self.arrivals.push((adm, env));
+                }
+            }
+        }
+        let adversarial = if round == 0 {
+            adversary.start(&self.graph)
+        } else {
+            adversary.on_round(round, &self.graph, &delivered)
+        };
+        let envs = Transport::new(&self.graph).admit_adversarial(
+            round,
+            &self.corrupted,
+            adversarial,
+            &mut self.metrics,
+            observer,
+        );
+        for env in envs {
+            let adm = self.next_admission;
+            self.next_admission += 1;
+            self.routes.insert(adm, (env.from, env.to));
+            self.arrivals.push((adm, env));
+        }
+
+        // Physical transmission, then per-message outcomes.
+        for (&v, items) in &mut transmit {
+            self.cmd(
+                v,
+                NodeCmd::Transmit {
+                    round,
+                    items: std::mem::take(items),
+                },
+            );
+        }
+        let tx_reports = self.collect(live.len(), deadline, observer, |report| match report {
+            Report::TxStatus { node, results } => Ok((node, results)),
+            Report::Net(ev) => Err(ev),
+            Report::Sends { .. } => unreachable!("no round outstanding"),
+        })?;
+        let mut tx_sorted: BTreeMap<NodeId, Vec<(NodeId, u64, TxResult)>> =
+            tx_reports.into_iter().collect();
+        for (&v, results) in &mut tx_sorted {
+            for (to, adm, result) in std::mem::take(results) {
+                match result {
+                    TxResult::Sent => {
+                        self.outstanding.remove(&adm);
+                        if !self.seen.contains(&adm) {
+                            self.expected.insert(adm);
+                        }
+                    }
+                    TxResult::Queued => {} // stays in `outstanding`
+                    TxResult::Shed(reason) => {
+                        self.outstanding.remove(&adm);
+                        self.routes.remove(&adm);
+                        self.losses += 1;
+                        if O::ACTIVE {
+                            observer.on_event(&RunEvent::FaultDrop {
+                                round,
+                                from: v.raw(),
+                                to: to.raw(),
+                                reason,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        self.fence(observer)?;
+        self.metrics
+            .honest_messages_per_round
+            .push(honest_this_round);
+        if O::ACTIVE {
+            self.sweep(round, observer);
+        }
+        Ok(())
+    }
+
+    /// Stops every task; the caller joins the handles. Returns the
+    /// diagnostics, metrics and loss count.
+    fn teardown(mut self) -> (Vec<RunEvent>, Metrics, u64) {
+        for tx in self.cmd_txs.values() {
+            let _ = tx.send(NodeCmd::Shutdown);
+        }
+        self.cmd_txs.clear();
+        // Drain the remaining physical-layer events into the diagnostics.
+        while let Ok(report) = self.reports.try_recv() {
+            if let Report::Net(LinkEvent::Conn(ev)) = report {
+                self.diagnostics.push(ev);
+            }
+        }
+        (self.diagnostics, self.metrics, self.losses)
+    }
+}
+
+/// Runs one session, streaming the canonical event stream through
+/// `observer`. Connection-lifecycle events go to
+/// [`SessionOutcome::diagnostics`] instead, so a fault-free observed run is
+/// byte-comparable to the deterministic runners.
+pub fn run_session_observed<Q, A, O>(
+    graph: Graph,
+    mut make: impl FnMut(NodeId) -> Q,
+    mut adversary: A,
+    chaos: &ChaosPlan,
+    cfg: NetdConfig,
+    observer: &mut O,
+) -> std::io::Result<SessionOutcome<Q>>
+where
+    Q: Protocol + Send + 'static,
+    Q::Payload: WirePayload + Send + 'static,
+    A: Adversary<Q::Payload>,
+    O: RunObserver,
+{
+    let corrupted = adversary.corrupted().clone();
+    let size = graph.nodes().last().map_or(0, |v| v.index() + 1);
+    let honest: Vec<NodeId> = graph
+        .nodes()
+        .iter()
+        .filter(|v| !corrupted.contains(*v))
+        .collect();
+    let stats = Arc::new(NetdStats::new());
+    let round_atomic = Arc::new(AtomicU32::new(0));
+    let session_id = cfg.seed ^ 0x6e65_7464; // "netd": disambiguates stray peers
+    let (report_tx, report_rx) = mpsc::channel::<Report<Q::Payload>>();
+    let sink = sink_over(report_tx.clone(), Report::Net);
+
+    // Every honest node gets a listener up front so dial targets exist
+    // before any task runs.
+    let mut listeners: HashMap<NodeId, TcpListener> = HashMap::new();
+    let mut addrs: HashMap<NodeId, SocketAddr> = HashMap::new();
+    for &v in &honest {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        addrs.insert(v, l.local_addr()?);
+        listeners.insert(v, l);
+    }
+
+    // One link per direction of each honest-honest edge; one task per
+    // honest node.
+    let mut expected_up = 0usize;
+    let mut cmd_txs: BTreeMap<NodeId, Sender<NodeCmd<Q::Payload>>> = BTreeMap::new();
+    let mut handles: BTreeMap<NodeId, JoinHandle<Q>> = BTreeMap::new();
+    for &v in &honest {
+        let mut links: BTreeMap<NodeId, Arc<Link>> = BTreeMap::new();
+        for u in graph.neighbors(v).iter() {
+            if corrupted.contains(u) {
+                continue;
+            }
+            links.insert(
+                u,
+                Link::new(
+                    v,
+                    u,
+                    session_id,
+                    addrs[&u],
+                    cfg.clone(),
+                    Arc::clone(&stats),
+                    Arc::clone(&round_atomic),
+                    Arc::clone(&sink),
+                ),
+            );
+            expected_up += 1;
+        }
+        let (tx, rx) = mpsc::channel();
+        cmd_txs.insert(v, tx);
+        let proto = make(v);
+        let neighbors = graph.neighbors(v).clone();
+        let listener = listeners.remove(&v).expect("listener bound above");
+        let reports = report_tx.clone();
+        handles.insert(
+            v,
+            std::thread::spawn(move || {
+                node_task(
+                    v, proto, neighbors, links, listener, session_id, rx, reports,
+                )
+            }),
+        );
+    }
+    drop(report_tx);
+    drop(sink);
+
+    let mut co = Coordinator::<Q> {
+        graph,
+        size,
+        corrupted: corrupted.clone(),
+        honest,
+        dead: vec![false; size],
+        cmd_txs,
+        reports: report_rx,
+        arrivals: Vec::new(),
+        outstanding: BTreeMap::new(),
+        routes: HashMap::new(),
+        seen: HashSet::new(),
+        expected: HashSet::new(),
+        diagnostics: Vec::new(),
+        metrics: Metrics::default(),
+        decided: vec![false; size],
+        latest_decision: vec![None; size],
+        next_admission: 0,
+        losses: 0,
+        round: 0,
+        round_atomic,
+        cfg,
+        stats: Arc::clone(&stats),
+    };
+
+    // Wait for the full mesh before round 0 so startup latency cannot skew
+    // delivery rounds relative to the deterministic oracle.
+    let mut stall: Option<String> = None;
+    {
+        let deadline = Instant::now() + Duration::from_millis(co.cfg.mesh_timeout_ms);
+        let mut up = 0usize;
+        while up < expected_up {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match co.reports.recv_timeout(timeout) {
+                Ok(Report::Net(ev)) => {
+                    if matches!(ev, LinkEvent::Conn(RunEvent::ConnUp { .. })) {
+                        up += 1;
+                    }
+                    co.handle_net(ev, observer);
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    stall = Some(format!(
+                        "mesh formation timed out after {}ms: {up} of {expected_up} links up",
+                        co.cfg.mesh_timeout_ms
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    let max_rounds = co.cfg.max_rounds.unwrap_or_else(|| {
+        let base = default_max_rounds(co.graph.node_count());
+        if chaos.is_empty() {
+            base
+        } else {
+            base.saturating_mul(2).saturating_add(chaos.horizon())
+        }
+    });
+    let mut heal_budget = Duration::from_millis(co.cfg.heal_wait_ms);
+
+    if stall.is_none() {
+        if O::ACTIVE {
+            let corrupted_raw: Vec<u32> = co.corrupted.iter().map(NodeId::raw).collect();
+            observer.on_event(&RunEvent::RunStart {
+                nodes: co.graph.node_count() as u32,
+                corrupted: corrupted_raw,
+            });
+            observer.on_event(&RunEvent::RoundStart { round: 0 });
+        }
+        co.apply_chaos(chaos, 0, observer);
+        if let Err(e) = co.run_round(&mut adversary, 0, observer) {
+            stall = Some(e);
+        }
+    }
+    if stall.is_none() {
+        for round in 1..=max_rounds {
+            if co.arrivals.is_empty() && co.outstanding.is_empty() {
+                break;
+            }
+            if co.arrivals.is_empty() && !chaos.has_event_at_or_after(round) {
+                co.await_healing(&mut heal_budget, observer);
+                if co.arrivals.is_empty() && co.outstanding.is_empty() {
+                    break;
+                }
+            }
+            co.metrics.rounds = round;
+            co.round = round;
+            co.round_atomic.store(round, Ordering::Relaxed);
+            if O::ACTIVE {
+                observer.on_event(&RunEvent::RoundStart { round });
+            }
+            co.apply_chaos(chaos, round, observer);
+            if let Err(e) = co.run_round(&mut adversary, round, observer) {
+                stall = Some(e);
+                break;
+            }
+        }
+    }
+    if O::ACTIVE {
+        observer.on_event(&RunEvent::RunEnd {
+            rounds: co.metrics.rounds,
+        });
+    }
+
+    let quiesced = stall.is_none() && co.arrivals.is_empty() && co.outstanding.is_empty();
+    let rounds = co.metrics.rounds;
+    let (diagnostics, metrics, losses) = co.teardown();
+    let mut protocols: Vec<Option<Q>> = (0..size).map(|_| None).collect();
+    for (v, handle) in handles {
+        if let Ok(proto) = handle.join() {
+            protocols[v.index()] = Some(proto);
+        }
+    }
+
+    Ok(SessionOutcome {
+        protocols,
+        corrupted,
+        metrics,
+        termination: if quiesced {
+            Termination::Quiesced { round: rounds }
+        } else {
+            Termination::Stalled { round: rounds }
+        },
+        stats,
+        diagnostics,
+        losses,
+        stall,
+    })
+}

@@ -1,0 +1,141 @@
+//! Session-wide transport counters, shared by every link of a session.
+//!
+//! These are the observable facts of the physical layer — connection churn,
+//! retries, shed messages, heartbeat misses — kept apart from the protocol
+//! [`Metrics`](rmt_sim::Metrics) so a chaotic run's protocol accounting
+//! stays directly comparable to a fault-free one (the same separation
+//! `rmt-net` draws with `FaultStats`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rmt_obs::Registry;
+
+/// Cumulative transport counters for one session (or one daemon, when
+/// shared across sessions). All fields are atomics: links update them from
+/// their supervisor/reader threads without coordination.
+#[derive(Debug, Default)]
+pub struct NetdStats {
+    /// Connection attempts (initial dials and retries alike).
+    pub dials: AtomicU64,
+    /// Successful connection establishments after the first (per link
+    /// direction).
+    pub reconnects: AtomicU64,
+    /// Scheduled reconnect attempts (each emits a `ConnRetry` event).
+    pub retries: AtomicU64,
+    /// Links that exhausted their retry budget and declared the peer dead.
+    pub gave_up: AtomicU64,
+    /// Messages shed because the peer was down and the bounded queue was at
+    /// budget (`DropReason::PeerDown`).
+    pub shed_peer_down: AtomicU64,
+    /// Messages shed because the in-flight window was full while the link
+    /// was up (`DropReason::Backpressure`).
+    pub shed_backpressure: AtomicU64,
+    /// Frames written to sockets (messages, not control frames).
+    pub frames_sent: AtomicU64,
+    /// Message frames read from sockets (before deduplication).
+    pub frames_received: AtomicU64,
+    /// Message frames replayed from the retransmit buffer after a reconnect.
+    pub retransmits: AtomicU64,
+    /// Heartbeat probes sent on idle links.
+    pub heartbeats_sent: AtomicU64,
+    /// Links closed because the peer went silent past the heartbeat timeout.
+    pub heartbeats_missed: AtomicU64,
+    /// Inbound payloads that failed to decode (dropped, never delivered).
+    pub decode_errors: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident),*) => {
+        impl NetdStats {
+            $(
+                /// Increments the counter of the same name.
+                pub fn $name(&self) {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+bump!(
+    dials,
+    reconnects,
+    retries,
+    gave_up,
+    shed_peer_down,
+    shed_backpressure,
+    frames_sent,
+    frames_received,
+    retransmits,
+    heartbeats_sent,
+    heartbeats_missed,
+    decode_errors
+);
+
+impl NetdStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        NetdStats::default()
+    }
+
+    /// Total messages shed by bounded queues, for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_peer_down.load(Ordering::Relaxed) + self.shed_backpressure.load(Ordering::Relaxed)
+    }
+
+    /// Records every counter into `registry` under its `netd.*` name (the
+    /// names catalogued in `METRICS.md`).
+    pub fn record_into(&self, registry: &Registry) {
+        let pairs: [(&'static str, &AtomicU64); 12] = [
+            ("netd.conn.dials", &self.dials),
+            ("netd.conn.reconnects", &self.reconnects),
+            ("netd.conn.retries", &self.retries),
+            ("netd.conn.gave_up", &self.gave_up),
+            ("netd.queue.shed_peer_down", &self.shed_peer_down),
+            ("netd.queue.shed_backpressure", &self.shed_backpressure),
+            ("netd.wire.frames_sent", &self.frames_sent),
+            ("netd.wire.frames_received", &self.frames_received),
+            ("netd.wire.retransmits", &self.retransmits),
+            ("netd.heartbeat.sent", &self.heartbeats_sent),
+            ("netd.heartbeat.missed", &self.heartbeats_missed),
+            ("netd.wire.decode_errors", &self.decode_errors),
+        ];
+        for (name, value) in pairs {
+            registry.counter(name).add(value.load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_into_registers_every_name() {
+        let stats = NetdStats::new();
+        stats.dials();
+        stats.shed_backpressure();
+        stats.shed_peer_down();
+        assert_eq!(stats.shed_total(), 2);
+        let reg = Registry::new();
+        stats.record_into(&reg);
+        let names = reg.metric_names();
+        for expected in [
+            "netd.conn.dials",
+            "netd.conn.reconnects",
+            "netd.conn.retries",
+            "netd.conn.gave_up",
+            "netd.queue.shed_peer_down",
+            "netd.queue.shed_backpressure",
+            "netd.wire.frames_sent",
+            "netd.wire.frames_received",
+            "netd.wire.retransmits",
+            "netd.heartbeat.sent",
+            "netd.heartbeat.missed",
+            "netd.wire.decode_errors",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(reg.counter("netd.conn.dials").get(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Graceful degradation under chaos: WRONG = 0, losses loud, liveness
+//! lost only when the fault actually warrants it.
+//!
+//! Four cells:
+//! - **A** kill + restart: a flood survives a transient crash.
+//! - **B** sever + restore: queued traffic replays; nothing is lost.
+//! - **C** permanent kill of a PKA relay: the receiver either still decides
+//!   the dealer's value or stalls — it never decides a wrong one.
+//! - **D** starved queue on a severed dealer link: sheds are explicit,
+//!   counted, and consistent with the emitted `FaultDrop` events.
+
+use std::time::Duration;
+
+use rmt_core::protocols::rmt_pka::RmtPka;
+use rmt_graph::{generators, ViewKind};
+use rmt_hunt::{Family, InstanceSpec};
+use rmt_net::Termination;
+use rmt_netd::{run_session_observed, ChaosPlan, NetdConfig};
+use rmt_obs::{DropReason, RunEvent, VecObserver};
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::testing::{Flood, Watchdog};
+use rmt_sim::SilentAdversary;
+
+fn fault_drops(events: &[RunEvent]) -> Vec<(u32, u32, DropReason)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::FaultDrop {
+                from, to, reason, ..
+            } => Some((*from, *to, *reason)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Cell A: node 2 dies at round 1 and comes back at round 3. The cycle
+/// keeps a second path alive, so every honest node still decides the
+/// dealer's value and nobody ever decides anything else.
+#[test]
+fn kill_and_restart_keeps_flood_safe() {
+    let dog = Watchdog::arm(
+        "kill_and_restart_keeps_flood_safe",
+        Duration::from_secs(120),
+    );
+    let chaos = ChaosPlan::new()
+        .with_kill(NodeId::new(2), 1)
+        .with_restart(NodeId::new(2), 3);
+    let mut obs = VecObserver::new();
+    let outcome = run_session_observed(
+        generators::cycle(6),
+        |v| Flood::new(v, (v.index() == 0).then_some(77)),
+        SilentAdversary::new(NodeSet::new()),
+        &chaos,
+        NetdConfig::default(),
+        &mut obs,
+    )
+    .expect("session io");
+
+    assert_eq!(outcome.stall, None, "wire stalled: {:?}", outcome.stall);
+    for v in 0..6u32 {
+        match outcome.decision(NodeId::new(v)) {
+            Some(d) => assert_eq!(d, 77, "node {v} decided a wrong value"),
+            None => panic!("node {v} never decided despite a live path"),
+        }
+    }
+    assert!(
+        obs.events
+            .iter()
+            .any(|e| matches!(e, RunEvent::NodeCrashed { node: 2, round: 1 })),
+        "crash must appear in the canonical stream"
+    );
+    // The dead process's queued frames (if any) are the only legal losses.
+    for (_, _, reason) in fault_drops(&obs.events) {
+        assert_eq!(reason, DropReason::SenderCrashed);
+    }
+    dog.disarm();
+}
+
+/// Cell B: the {0,1} edge is severed for rounds 0..=1, then restored.
+/// Messages queued behind the cut replay on reconnect: delivery is
+/// delayed, never destroyed — zero losses, everyone decides.
+#[test]
+fn sever_and_restore_loses_nothing() {
+    let dog = Watchdog::arm("sever_and_restore_loses_nothing", Duration::from_secs(120));
+    let chaos = ChaosPlan::new().with_sever(NodeId::new(0), NodeId::new(1), 0, 1);
+    let mut obs = VecObserver::new();
+    let outcome = run_session_observed(
+        generators::cycle(6),
+        |v| Flood::new(v, (v.index() == 0).then_some(88)),
+        SilentAdversary::new(NodeSet::new()),
+        &chaos,
+        NetdConfig::default(),
+        &mut obs,
+    )
+    .expect("session io");
+
+    assert_eq!(outcome.stall, None, "wire stalled: {:?}", outcome.stall);
+    assert_eq!(outcome.losses, 0, "a restored sever must lose nothing");
+    assert!(fault_drops(&obs.events).is_empty());
+    assert!(matches!(outcome.termination, Termination::Quiesced { .. }));
+    for v in 0..6u32 {
+        assert_eq!(outcome.decision(NodeId::new(v)), Some(88), "node {v}");
+    }
+    assert!(
+        outcome
+            .stats
+            .reconnects
+            .load(std::sync::atomic::Ordering::SeqCst)
+            >= 1,
+        "the restored link must actually have reconnected"
+    );
+    dog.disarm();
+}
+
+/// Cell C: a PKA relay adjacent to the dealer is killed permanently. The
+/// paper's safety half must survive arbitrary liveness damage: the
+/// receiver decides the dealer's input or nothing at all.
+#[test]
+fn permanent_relay_kill_never_turns_wrong() {
+    let dog = Watchdog::arm(
+        "permanent_relay_kill_never_turns_wrong",
+        Duration::from_secs(240),
+    );
+    for seed in [0xBEEF, 7] {
+        dog.note(format!("seed {seed:#x}"));
+        let spec = InstanceSpec {
+            family: Family::E2,
+            n: 7,
+            view: ViewKind::Radius(2),
+            seed,
+        };
+        let inst = spec.build();
+        let input = 4096 + seed;
+        // Kill a dealer neighbour that is neither dealer nor receiver.
+        let victim = inst
+            .graph()
+            .neighbors(inst.dealer())
+            .iter()
+            .find(|&v| v != inst.receiver())
+            .expect("dealer has a relay neighbour");
+        let chaos = ChaosPlan::new().with_kill(victim, 1);
+        let mut obs = VecObserver::new();
+        let outcome = run_session_observed(
+            inst.graph().clone(),
+            |v| RmtPka::node(&inst, v, input),
+            SilentAdversary::new(NodeSet::new()),
+            &chaos,
+            NetdConfig::default(),
+            &mut obs,
+        )
+        .expect("session io");
+
+        assert_eq!(outcome.stall, None, "wire stalled: {:?}", outcome.stall);
+        // Stalled (None) is acceptable; a forged value is not.
+        if let Some(d) = outcome.decision(inst.receiver()) {
+            assert_eq!(d, input, "seed {seed:#x}: receiver decided wrong — WRONG");
+        }
+    }
+    dog.disarm();
+}
+
+/// Cell D: the dealer's link to one neighbour is severed for the whole
+/// run with a queue budget of 1. The dealer sends two frames on that link
+/// in round 0, so exactly the overflow sheds with `PeerDown` — and every
+/// loss is visible twice: once as a `FaultDrop` event, once in the shed
+/// counters. The receiver still must never decide a wrong value.
+#[test]
+fn starved_queue_sheds_loudly_and_stays_safe() {
+    let dog = Watchdog::arm(
+        "starved_queue_sheds_loudly_and_stays_safe",
+        Duration::from_secs(240),
+    );
+    let spec = InstanceSpec {
+        family: Family::E2,
+        n: 7,
+        view: ViewKind::Radius(2),
+        seed: 0xBEEF,
+    };
+    let inst = spec.build();
+    let input = 31337;
+    let neighbor = inst
+        .graph()
+        .neighbors(inst.dealer())
+        .iter()
+        .find(|&v| v != inst.receiver())
+        .expect("dealer has a relay neighbour");
+    // Severed for the whole run; `u32::MAX` is effectively "never restored".
+    let chaos = ChaosPlan::new().with_sever(inst.dealer(), neighbor, 0, u32::MAX);
+    let mut obs = VecObserver::new();
+    let outcome = run_session_observed(
+        inst.graph().clone(),
+        |v| RmtPka::node(&inst, v, input),
+        SilentAdversary::new(NodeSet::new()),
+        &chaos,
+        NetdConfig {
+            queue_budget: 1,
+            backpressure_wait_ms: 200,
+            heal_wait_ms: 300,
+            max_rounds: Some(12),
+            ..NetdConfig::default()
+        },
+        &mut obs,
+    )
+    .expect("session io");
+
+    assert_eq!(outcome.stall, None, "wire stalled: {:?}", outcome.stall);
+    let drops = fault_drops(&obs.events);
+    let peer_down = drops
+        .iter()
+        .filter(|&&(_, _, r)| r == DropReason::PeerDown)
+        .count() as u64;
+    assert!(
+        peer_down >= 1,
+        "dealer sends 2 frames on the severed link at round 0 with budget 1: \
+         at least one must shed PeerDown, got {drops:?}"
+    );
+    // Loud accounting: every loss has a FaultDrop, counters agree.
+    assert_eq!(outcome.losses, drops.len() as u64);
+    assert_eq!(
+        outcome.stats.shed_total(),
+        peer_down
+            + drops
+                .iter()
+                .filter(|&&(_, _, r)| r == DropReason::Backpressure)
+                .count() as u64,
+        "shed counters must agree with the emitted FaultDrop events"
+    );
+    if let Some(d) = outcome.decision(inst.receiver()) {
+        assert_eq!(d, input, "receiver decided a forged value — WRONG");
+    }
+    dog.disarm();
+}

@@ -64,6 +64,13 @@ pub enum DropReason {
     /// A message adversary spent one unit of its per-round suppression
     /// budget on the message (`rmt-net`'s `MessageAdversary` mode).
     Suppressed,
+    /// The socket transport shed the message because the recipient's link
+    /// was down and the bounded send queue had reached its budget
+    /// (`rmt-netd`'s graceful-degradation path).
+    PeerDown,
+    /// The socket transport shed the message because the bounded send queue
+    /// was full while the link was still up (backpressure overflow).
+    Backpressure,
 }
 
 impl DropReason {
@@ -74,6 +81,8 @@ impl DropReason {
             DropReason::Partitioned => "partitioned",
             DropReason::SenderCrashed => "sender_crashed",
             DropReason::Suppressed => "suppressed",
+            DropReason::PeerDown => "peer_down",
+            DropReason::Backpressure => "backpressure",
         }
     }
 
@@ -83,6 +92,8 @@ impl DropReason {
             "partitioned" => Some(DropReason::Partitioned),
             "sender_crashed" => Some(DropReason::SenderCrashed),
             "suppressed" => Some(DropReason::Suppressed),
+            "peer_down" => Some(DropReason::PeerDown),
+            "backpressure" => Some(DropReason::Backpressure),
             _ => None,
         }
     }
@@ -196,6 +207,44 @@ pub enum RunEvent {
         round: u32,
         /// The crashed node.
         node: u32,
+    },
+    /// A socket link came up (initial connect or reconnect) — emitted by
+    /// the `rmt-netd` transport, never by the in-process schedulers.
+    ConnUp {
+        /// Session round at which the link became usable (best effort).
+        round: u32,
+        /// Dialing node.
+        from: u32,
+        /// Accepting node.
+        to: u32,
+        /// Connection attempt that succeeded (0 = first dial).
+        attempt: u32,
+    },
+    /// A socket link went down (I/O error, severed connection, or peer
+    /// declared dead after missed heartbeats).
+    ConnDown {
+        /// Session round at which the loss was noticed (best effort).
+        round: u32,
+        /// Dialing node.
+        from: u32,
+        /// Accepting node.
+        to: u32,
+        /// Human-readable cause (I/O error text, "severed", "heartbeat").
+        reason: String,
+    },
+    /// The connection supervisor scheduled a reconnect attempt with
+    /// jittered exponential backoff.
+    ConnRetry {
+        /// Session round at which the retry was scheduled (best effort).
+        round: u32,
+        /// Dialing node.
+        from: u32,
+        /// Accepting node.
+        to: u32,
+        /// The upcoming attempt number (1-based).
+        attempt: u32,
+        /// Backoff applied before the attempt, in milliseconds.
+        backoff_ms: u64,
     },
     /// An honest node decided (first round at which its decision became
     /// non-`None`).
@@ -349,6 +398,44 @@ impl RunEvent {
                 ("round", Json::from(*round)),
                 ("node", Json::from(*node)),
             ]),
+            RunEvent::ConnUp {
+                round,
+                from,
+                to,
+                attempt,
+            } => Json::obj([
+                ("type", Json::from("conn_up")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("attempt", Json::from(*attempt)),
+            ]),
+            RunEvent::ConnDown {
+                round,
+                from,
+                to,
+                reason,
+            } => Json::obj([
+                ("type", Json::from("conn_down")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("reason", Json::from(reason.clone())),
+            ]),
+            RunEvent::ConnRetry {
+                round,
+                from,
+                to,
+                attempt,
+                backoff_ms,
+            } => Json::obj([
+                ("type", Json::from("conn_retry")),
+                ("round", Json::from(*round)),
+                ("from", Json::from(*from)),
+                ("to", Json::from(*to)),
+                ("attempt", Json::from(*attempt)),
+                ("backoff_ms", Json::from(*backoff_ms)),
+            ]),
             RunEvent::Decision { round, node, value } => Json::obj([
                 ("type", Json::from("decision")),
                 ("round", Json::from(*round)),
@@ -480,6 +567,25 @@ impl RunEvent {
             "node_crashed" => Ok(RunEvent::NodeCrashed {
                 round: u32_field("round")?,
                 node: u32_field("node")?,
+            }),
+            "conn_up" => Ok(RunEvent::ConnUp {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                attempt: u32_field("attempt")?,
+            }),
+            "conn_down" => Ok(RunEvent::ConnDown {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                reason: str_field("reason")?,
+            }),
+            "conn_retry" => Ok(RunEvent::ConnRetry {
+                round: u32_field("round")?,
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                attempt: u32_field("attempt")?,
+                backoff_ms: u64_field("backoff_ms")?,
             }),
             "decision" => Ok(RunEvent::Decision {
                 round: u32_field("round")?,
@@ -658,6 +764,25 @@ mod tests {
                 deliver_round: 2,
             },
             RunEvent::NodeCrashed { round: 2, node: 1 },
+            RunEvent::ConnUp {
+                round: 2,
+                from: 0,
+                to: 3,
+                attempt: 1,
+            },
+            RunEvent::ConnDown {
+                round: 2,
+                from: 0,
+                to: 3,
+                reason: "severed".into(),
+            },
+            RunEvent::ConnRetry {
+                round: 2,
+                from: 0,
+                to: 3,
+                attempt: 2,
+                backoff_ms: 40,
+            },
             RunEvent::Decision {
                 round: 2,
                 node: 2,
@@ -749,6 +874,8 @@ mod tests {
             DropReason::Partitioned,
             DropReason::SenderCrashed,
             DropReason::Suppressed,
+            DropReason::PeerDown,
+            DropReason::Backpressure,
         ] {
             assert_eq!(DropReason::parse(reason.as_str()), Some(reason));
         }

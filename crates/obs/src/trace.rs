@@ -147,6 +147,25 @@ pub fn render_trace(events: &[RunEvent]) -> String {
                 deliver_round,
             } => format!("  v{from} -> v{to} duplicated (copy arrives round {deliver_round})"),
             RunEvent::NodeCrashed { round: _, node } => format!("  v{node} crashed"),
+            RunEvent::ConnUp {
+                round: _,
+                from,
+                to,
+                attempt,
+            } => format!("  link v{from} -> v{to} up (attempt {attempt})"),
+            RunEvent::ConnDown {
+                round: _,
+                from,
+                to,
+                reason,
+            } => format!("  link v{from} -> v{to} down: {reason}"),
+            RunEvent::ConnRetry {
+                round: _,
+                from,
+                to,
+                attempt,
+                backoff_ms,
+            } => format!("  link v{from} -> v{to} retry #{attempt} in {backoff_ms}ms"),
             RunEvent::RoundEnd {
                 round: _,
                 ns,

@@ -54,7 +54,7 @@ pub mod transport;
 
 pub use adversary::{Adversary, FnAdversary, MapAdversary, SilentAdversary};
 pub use coupled::{CoupledOutcome, CoupledRunner};
-pub use message::{DeliveryLog, Envelope, Payload, RoundInboxes};
+pub use message::{DeliveryLog, Envelope, Payload, RoundInboxes, WirePayload};
 pub use metrics::Metrics;
 pub use protocol::{NodeContext, Protocol};
 #[doc(hidden)]

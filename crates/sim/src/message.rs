@@ -20,6 +20,58 @@ impl Payload for u64 {
     }
 }
 
+/// A payload with a concrete byte codec, so it can cross a real socket.
+///
+/// The in-process schedulers never serialize payloads — [`Payload`] only
+/// demands a size estimate. The networked backend (`rmt-netd`) moves real
+/// bytes, so payloads it carries must round-trip through a self-delimiting
+/// encoding. Decoding untrusted bytes must never panic: any malformed input
+/// returns `Err` with a short description.
+pub trait WirePayload: Payload {
+    /// Appends this payload's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one payload from the front of `bytes`, returning it together
+    /// with the number of bytes consumed.
+    ///
+    /// Implementations must tolerate arbitrary input: truncated, corrupt, or
+    /// adversarial bytes yield a descriptive `Err`, never a panic.
+    fn decode(bytes: &[u8]) -> Result<(Self, usize), String>;
+
+    /// Encodes into a fresh buffer (convenience over [`encode`](Self::encode)).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a buffer that must contain exactly one payload.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let (value, used) = Self::decode(bytes)?;
+        if used != bytes.len() {
+            return Err(format!(
+                "payload decode left {} trailing bytes",
+                bytes.len() - used
+            ));
+        }
+        Ok(value)
+    }
+}
+
+impl WirePayload for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, usize), String> {
+        let raw: [u8; 8] = bytes
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| format!("u64 payload needs 8 bytes, got {}", bytes.len()))?;
+        Ok((u64::from_le_bytes(raw), 8))
+    }
+}
+
 /// A message in flight: sender, recipient, body.
 ///
 /// Channels are authenticated: the [`Runner`] constructs the `from` field
@@ -117,5 +169,21 @@ mod tests {
     #[test]
     fn u64_payload_reports_bits() {
         assert_eq!(5u64.encoded_bits(), 64);
+    }
+
+    #[test]
+    fn u64_wire_round_trip() {
+        let v = 0xDEAD_BEEF_1234_5678u64;
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(u64::from_bytes(&bytes), Ok(v));
+    }
+
+    #[test]
+    fn u64_wire_decode_rejects_bad_input() {
+        assert!(u64::from_bytes(&[1, 2, 3]).is_err());
+        assert!(u64::from_bytes(&[0; 9]).is_err()); // trailing byte
+        let (v, used) = u64::decode(&[0; 12]).unwrap();
+        assert_eq!((v, used), (0, 8));
     }
 }

@@ -1,15 +1,123 @@
-//! A minimal flooding protocol used by the simulator's own tests, doctests
-//! and the quickstart example.
+//! Test support: a minimal flooding protocol used by the simulator's own
+//! tests, doctests and the quickstart example, plus a [`Watchdog`] that keeps
+//! stalled integration tests from hanging CI.
 //!
 //! `Flood` is intentionally *not* Byzantine-tolerant: a node adopts the first
 //! value it hears and forwards it once. It exists to exercise the scheduler
 //! and to demonstrate, by contrast, what the safe protocols in `rmt-core`
 //! add.
 
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
 use rmt_sets::NodeId;
 
 use crate::message::Envelope;
 use crate::protocol::{NodeContext, Protocol};
+
+/// A deadline for a test: if not disarmed in time, the whole process exits
+/// with a diagnostic dump instead of hanging CI until the job-level timeout.
+///
+/// A scheduler bug that loses quiescence makes a `NetRunner`/`rmt-netd` test
+/// spin (or block) forever; the test harness has no per-test timeout, so the
+/// only symptom would be a CI job killed after tens of minutes with no clue
+/// which test stalled or where. The watchdog runs a monitor thread that, past
+/// the deadline, prints the test's latest [`note`](Watchdog::note) (e.g. the
+/// instance being replayed or the round reached) to stderr and calls
+/// [`std::process::exit`]`(101)` — a panic in the monitor thread would be
+/// swallowed and fail nothing.
+///
+/// ```
+/// use std::time::Duration;
+/// use rmt_sim::testing::Watchdog;
+///
+/// let dog = Watchdog::arm("doc_example", Duration::from_secs(60));
+/// dog.note("phase 1: building instance");
+/// // ... the guarded work ...
+/// dog.disarm();
+/// ```
+#[derive(Debug)]
+pub struct Watchdog {
+    state: Arc<Mutex<WatchdogState>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct WatchdogState {
+    disarmed: bool,
+    note: String,
+}
+
+impl Watchdog {
+    /// Arms a watchdog: unless [`disarm`](Self::disarm)ed (or dropped) within
+    /// `limit`, the process prints a diagnostic naming `test` and exits.
+    pub fn arm(test: &str, limit: Duration) -> Self {
+        let state = Arc::new(Mutex::new(WatchdogState {
+            disarmed: false,
+            note: String::new(),
+        }));
+        let monitor = Arc::clone(&state);
+        let test = test.to_string();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            // Poll rather than sleep the full limit so a disarmed watchdog's
+            // monitor thread exits promptly and `disarm` can join it.
+            let tick = Duration::from_millis(50).min(limit);
+            loop {
+                std::thread::sleep(tick);
+                let state = monitor.lock().expect("watchdog state poisoned");
+                if state.disarmed {
+                    return;
+                }
+                if started.elapsed() >= limit {
+                    eprintln!(
+                        "watchdog: test `{test}` exceeded {limit:?}; \
+                         last progress note: {}",
+                        if state.note.is_empty() {
+                            "<none>"
+                        } else {
+                            &state.note
+                        }
+                    );
+                    eprintln!(
+                        "watchdog: a stalled scheduler usually means lost \
+                         quiescence (inflight queue never drains) or a \
+                         barrier waiting on a dead peer"
+                    );
+                    std::process::exit(101);
+                }
+            }
+        });
+        Watchdog {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Records a progress note included in the diagnostic if the deadline
+    /// fires. Cheap; call at each phase boundary of the guarded test.
+    pub fn note(&self, note: impl Into<String>) {
+        self.state.lock().expect("watchdog state poisoned").note = note.into();
+    }
+
+    /// Cancels the deadline and joins the monitor thread.
+    pub fn disarm(mut self) {
+        self.cancel();
+    }
+
+    fn cancel(&mut self) {
+        self.state.lock().expect("watchdog state poisoned").disarmed = true;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.cancel();
+    }
+}
 
 /// Naive single-value flooding (adopt first, forward once).
 #[derive(Clone, Debug)]
@@ -85,6 +193,18 @@ mod tests {
         assert_eq!(f.start(&ctx).len(), 2);
         assert!(f.start(&ctx).is_empty()); // second call: already forwarded
         assert_eq!(f.decision(), Some(4));
+    }
+
+    #[test]
+    fn watchdog_disarm_before_deadline_is_silent() {
+        let dog = Watchdog::arm("watchdog_disarm", std::time::Duration::from_secs(30));
+        dog.note("running");
+        dog.disarm();
+    }
+
+    #[test]
+    fn watchdog_drop_cancels() {
+        let _dog = Watchdog::arm("watchdog_drop", std::time::Duration::from_secs(30));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! `rmt-netd` — host a fleet of socket-backed RMT sessions in one process.
+//!
+//! Each session samples an instance from the hunt families (`e2`/`e3`),
+//! runs RMT-PKA over real loopback TCP links, and reports a verdict:
+//!
+//! * `SAFE`    — the receiver decided the dealer's value;
+//! * `STALLED` — the receiver never decided (liveness lost, safety kept);
+//! * `WRONG`   — the receiver decided a *different* value (must never happen);
+//! * `PANIC`   — the session job died (counted as a failure).
+//!
+//! The process exits nonzero iff any session is `WRONG` or `PANIC`, so CI
+//! can use it as a gate. `--chaos` adds a kill/restart and a transient
+//! sever to every session; the verdicts must still avoid `WRONG`.
+//! `--trace DIR` writes each session's canonical event stream as
+//! `DIR/<session>.jsonl` (the format `rmt-trace` reads), so a failing CI
+//! run can upload the exact traces that produced the bad verdict.
+//!
+//! ```text
+//! cargo run --bin rmt-netd -- --smoke
+//! cargo run --bin rmt-netd -- --sessions 16 --concurrency 4 --family e3 --n 8 --chaos
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rmt::core::protocols::rmt_pka::RmtPka;
+use rmt::graph::ViewKind;
+use rmt::hunt::{Family, InstanceSpec};
+use rmt::netd::{run_session_observed, ChaosPlan, Daemon, NetdConfig};
+use rmt::obs::{JsonlObserver, Registry};
+use rmt::sets::{NodeId, NodeSet};
+use rmt::sim::SilentAdversary;
+
+struct Args {
+    sessions: u64,
+    concurrency: usize,
+    family: Family,
+    n: usize,
+    seed: u64,
+    chaos: bool,
+    trace: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sessions: 8,
+        concurrency: 4,
+        family: Family::E2,
+        n: 7,
+        seed: 0xD00D,
+        chaos: false,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--smoke" => {
+                args.sessions = 4;
+                args.concurrency = 2;
+            }
+            "--chaos" => args.chaos = true,
+            "--sessions" => {
+                args.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--concurrency" => {
+                args.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--family" => {
+                args.family = match value("--family")?.as_str() {
+                    "e2" | "E2" => Family::E2,
+                    "e3" | "E3" => Family::E3,
+                    other => return Err(format!("--family: unknown family {other:?}")),
+                }
+            }
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The chaos applied per session under `--chaos`: kill+restart one
+/// non-dealer, non-receiver node and sever one of its edges for a round.
+fn chaos_for(inst: &rmt::core::Instance) -> ChaosPlan {
+    let victim = inst
+        .graph()
+        .nodes()
+        .iter()
+        .find(|&v| v != inst.dealer() && v != inst.receiver());
+    let mut plan = ChaosPlan::new();
+    if let Some(victim) = victim {
+        plan = plan.with_kill(victim, 1).with_restart(victim, 3);
+        if let Some(peer) = inst.graph().neighbors(victim).iter().find(|&u| u != victim) {
+            plan = plan.with_sever(victim, peer, 4, 5);
+        }
+    }
+    plan
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rmt-netd: {e}");
+            eprintln!(
+                "usage: rmt-netd [--smoke] [--chaos] [--sessions N] [--concurrency K] \
+                 [--family e2|e3] [--n NODES] [--seed BASE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let view = match args.family {
+        Family::E2 => ViewKind::Radius(2),
+        Family::E3 => ViewKind::Full,
+    };
+    if let Some(dir) = &args.trace {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("rmt-netd: cannot create trace dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let jobs: Vec<(String, _)> = (0..args.sessions)
+        .map(|i| {
+            let spec = InstanceSpec {
+                family: args.family,
+                n: args.n,
+                view,
+                seed: args.seed.wrapping_add(i),
+            };
+            let chaos_on = args.chaos;
+            let name = format!("{}-n{}-seed{:#x}", spec.family.as_str(), spec.n, spec.seed);
+            let trace_path = args.trace.as_ref().map(|d| d.join(format!("{name}.jsonl")));
+            let job = move || {
+                let inst = spec.build();
+                let input = 1000 + spec.seed;
+                let chaos = if chaos_on {
+                    chaos_for(&inst)
+                } else {
+                    ChaosPlan::new()
+                };
+                let sink: Box<dyn std::io::Write + Send> = match &trace_path {
+                    Some(p) => Box::new(std::fs::File::create(p).expect("creating trace file")),
+                    None => Box::new(std::io::sink()),
+                };
+                let mut observer = JsonlObserver::new(sink);
+                let outcome = run_session_observed(
+                    inst.graph().clone(),
+                    |v| RmtPka::node(&inst, v, input),
+                    SilentAdversary::new(NodeSet::new()),
+                    &chaos,
+                    NetdConfig {
+                        seed: spec.seed,
+                        ..NetdConfig::default()
+                    },
+                    &mut observer,
+                )
+                .expect("session io");
+                observer.into_inner().expect("writing trace");
+                let receiver: NodeId = inst.receiver();
+                (outcome, receiver, input)
+            };
+            (name, job)
+        })
+        .collect();
+
+    let results = Daemon::new(args.concurrency).run(jobs);
+
+    let reg = Registry::new();
+    let (mut safe, mut stalled, mut wrong, mut panicked) = (0u64, 0u64, 0u64, 0u64);
+    for (name, result) in results {
+        match result {
+            None => {
+                panicked += 1;
+                println!("{name:<24} PANIC");
+            }
+            Some((outcome, receiver, input)) => {
+                outcome.stats.record_into(&reg);
+                let verdict = match outcome.decision(receiver) {
+                    Some(d) if d == input => {
+                        safe += 1;
+                        "SAFE"
+                    }
+                    Some(_) => {
+                        wrong += 1;
+                        "WRONG"
+                    }
+                    None => {
+                        stalled += 1;
+                        "STALLED"
+                    }
+                };
+                println!(
+                    "{name:<24} {verdict:<8} rounds={} msgs={} losses={} sheds={}",
+                    outcome.metrics.rounds,
+                    outcome.metrics.honest_messages,
+                    outcome.losses,
+                    outcome.stats.shed_total(),
+                );
+            }
+        }
+    }
+
+    println!(
+        "fleet: {safe} safe, {stalled} stalled, {wrong} wrong, {panicked} panicked \
+         ({} sessions, {} concurrent{})",
+        args.sessions,
+        args.concurrency,
+        if args.chaos { ", chaos on" } else { "" }
+    );
+    let mut names: Vec<_> = reg
+        .metric_names()
+        .into_iter()
+        .filter(|n| n.starts_with("netd."))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        println!("  {name} = {}", reg.counter(name).get());
+    }
+
+    if wrong > 0 || panicked > 0 {
+        eprintln!("rmt-netd: {wrong} WRONG + {panicked} PANIC verdicts — failing");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

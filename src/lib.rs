@@ -22,6 +22,7 @@ pub use rmt_core as core;
 pub use rmt_graph as graph;
 pub use rmt_hunt as hunt;
 pub use rmt_net as net;
+pub use rmt_netd as netd;
 pub use rmt_obs as obs;
 pub use rmt_sets as sets;
 pub use rmt_sim as sim;

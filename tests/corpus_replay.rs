@@ -10,21 +10,35 @@
 //!   reproducing, the fix (or the regression masking it) is flagged;
 //! * if a recorded liveness violation ever turns into a *safety* violation
 //!   (`Wrong`), something fundamental broke.
+//!
+//! Replays run under a [`Watchdog`]: a fixture whose replay hangs (a stuck
+//! scheduler, a non-terminating attack) aborts with the fixture's name in
+//! the last progress note instead of wedging CI.
+
+use std::time::Duration;
 
 use rmt::hunt::{corpus, Verdict};
+use rmt::sim::testing::Watchdog;
 
 fn corpus_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
 }
 
+const LIMIT: Duration = Duration::from_secs(120);
+
 #[test]
 fn every_corpus_fixture_replays_to_its_recorded_verdict() {
+    let dog = Watchdog::arm(
+        "every_corpus_fixture_replays_to_its_recorded_verdict",
+        LIMIT,
+    );
     let fixtures = corpus::load_dir(&corpus_dir()).expect("corpus must parse");
     assert!(
         !fixtures.is_empty(),
         "tests/corpus/ is empty — the committed counterexample corpus is missing"
     );
     for fixture in &fixtures {
+        dog.note(fixture.name.clone());
         let report = fixture.replay();
         assert_eq!(
             report.verdict, fixture.verdict,
@@ -32,10 +46,12 @@ fn every_corpus_fixture_replays_to_its_recorded_verdict() {
             fixture.name
         );
     }
+    dog.disarm();
 }
 
 #[test]
 fn the_corpus_contains_no_safety_violations() {
+    let dog = Watchdog::arm("the_corpus_contains_no_safety_violations", LIMIT);
     // The protocols' safety arguments are structural: no recorded attack —
     // suppression, faults, Byzantine behaviour — should ever have produced
     // a wrong decision. A `Wrong` fixture would mean a real counterexample
@@ -49,14 +65,17 @@ fn the_corpus_contains_no_safety_violations() {
             fixture.name
         );
     }
+    dog.disarm();
 }
 
 #[test]
 fn corpus_fixtures_are_minimal() {
+    let dog = Watchdog::arm("corpus_fixtures_are_minimal", LIMIT);
     // Each committed genome is a local minimum: every strictly simpler
     // shrink candidate must fail to reproduce the verdict. Guards against
     // hand-edited or stale fixtures bloating the corpus.
     for fixture in &corpus::load_dir(&corpus_dir()).expect("corpus must parse") {
+        dog.note(fixture.name.clone());
         let inst = fixture.spec.build();
         for simpler in fixture.genome.shrink_candidates() {
             assert_ne!(
@@ -67,4 +86,5 @@ fn corpus_fixtures_are_minimal() {
             );
         }
     }
+    dog.disarm();
 }

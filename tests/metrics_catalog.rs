@@ -17,8 +17,11 @@ use rmt_core::{Instance, KnowledgeCache};
 use rmt_graph::generators::seeded;
 use rmt_graph::{Graph, ViewKind};
 use rmt_hunt::{Behaviour, Family, HuntConfig, Hunter, InstanceSpec};
+use rmt_netd::{run_session, ChaosPlan, NetdConfig};
 use rmt_obs::{Clock, Profiler, Registry, RunEvent};
 use rmt_sets::NodeSet;
+use rmt_sim::testing::Flood;
+use rmt_sim::SilentAdversary;
 
 /// A solvable diamond (𝒵 = {{1}}): the receiver can actually decide, so the
 /// decision-side counters get touched too.
@@ -96,6 +99,18 @@ fn emitted_names() -> (Vec<&'static str>, Vec<String>) {
     };
     let _ = Hunter::new(&reg).hunt(&hunt_inst, 7, &config);
 
+    // The networked transport: a tiny loopback flood touches dials and
+    // frame counters, then `record_into` registers every `netd.*` name.
+    let outcome = run_session(
+        rmt_graph::generators::cycle(4),
+        |v| Flood::new(v, (v.index() == 0).then_some(5)),
+        SilentAdversary::new(NodeSet::new()),
+        &ChaosPlan::new(),
+        NetdConfig::default(),
+    )
+    .expect("loopback session");
+    outcome.stats.record_into(&reg);
+
     let spans = prof
         .events()
         .iter()
@@ -126,6 +141,9 @@ fn every_emitted_metric_is_documented_in_metrics_md() {
         "join.folds",
         "hunt.candidates_executed",
         "hunt.shrink_steps",
+        "netd.conn.dials",
+        "netd.wire.frames_sent",
+        "netd.wire.frames_received",
     ] {
         assert!(
             metrics.contains(&expected),
