@@ -1,0 +1,58 @@
+//! Criterion bench for batched session throughput (E16 companion).
+//!
+//! Measures whole honest transmissions of B payloads at a fixed instance:
+//! `per_message` runs the naive protocol B times (the pre-session cost of
+//! sending B values); `session` runs one batched session. Messages/sec is
+//! `B / measured time`; the per-payload wire cost the same runs produce is
+//! tabulated by the `e16_session_throughput` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmt_core::protocols::rmt_pka::RmtPka;
+use rmt_core::sampling::threshold_instance;
+use rmt_graph::generators::{self, seeded};
+use rmt_graph::ViewKind;
+use rmt_session::{Session, SessionPlan};
+use rmt_sets::NodeSet;
+use rmt_sim::{Runner, SilentAdversary};
+use std::hint::black_box;
+
+const BATCHES: &[usize] = &[1, 4, 16, 64];
+
+fn bench_session_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_throughput");
+    group.sample_size(20);
+    let n = 12usize;
+    let mut rng = seeded(n as u64);
+    let g = generators::ring_with_chords(n, n / 4, &mut rng);
+    let inst = threshold_instance(g, 0, ViewKind::AdHoc, 0, n as u32 / 2);
+    let plan = SessionPlan::build(&inst);
+    for &batch in BATCHES {
+        let values: Vec<u64> = (0..batch as u64).map(|i| 1000 + i).collect();
+        group.bench_with_input(
+            BenchmarkId::new("per_message", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    for i in 0..batch as u64 {
+                        black_box(
+                            Runner::new(
+                                inst.graph().clone(),
+                                |v| RmtPka::node(&inst, v, 1000 + i),
+                                SilentAdversary::new(NodeSet::new()),
+                            )
+                            .run()
+                            .decision(inst.receiver()),
+                        );
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("session", batch), &batch, |b, _| {
+            b.iter(|| black_box(Session::new(&plan, values.clone()).run_honest().verdicts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_throughput);
+criterion_main!(benches);

@@ -314,6 +314,23 @@ fn compare_values(
         }
         return;
     }
+    // Wire-cost fields ("… bits/payload") are codec-determined, not
+    // verdict-determined: legitimate codec tuning moves them, so they get a
+    // tolerance band (Soft beyond it) instead of identity semantics.
+    if path.contains("bits/payload") {
+        if let (Some(bv), Some(cv)) = (b.as_f64(), c.as_f64()) {
+            let drift = (bv - cv).abs();
+            let scale = bv.abs().max(f64::MIN_POSITIVE);
+            if drift / scale > 0.25 {
+                report.push(
+                    Severity::Soft,
+                    path,
+                    format!("wire cost drifted {bv:.0} → {cv:.0} bits/payload"),
+                );
+            }
+            return;
+        }
+    }
     if b != c {
         report.push(severity, path, format!("{} → {}", show(b), show(c)));
     }
@@ -637,6 +654,38 @@ mod tests {
         // Soft-only reports pass the default gate but not --strict.
         assert!(report.passed(false));
         assert!(!report.passed(true));
+    }
+
+    #[test]
+    fn bits_per_payload_fields_get_a_tolerance_band() {
+        let mk = |bpp: f64| {
+            Json::parse(&format!(
+                r#"{{"schema": 2, "experiment": "e16_session_throughput",
+                    "params": {{}},
+                    "measurements": [
+                      {{"n": 12, "batch": 64, "wrong": 0,
+                        "wire bits/payload": {bpp},
+                        "naive bits/payload": 425856}}
+                    ],
+                    "wall": {{"ns": 100, "human": "100ns"}},
+                    "counters": {{}}}}"#
+            ))
+            .expect("valid artifact")
+        };
+        // Within the 25% band: clean, even though the values differ.
+        let report = compare_artifacts(&mk(5035.0), &mk(6000.0), &CompareConfig::default());
+        assert!(report.findings.is_empty(), "{}", report.render());
+        // Beyond the band: Soft — codec tuning is reportable, never a gate
+        // failure on its own.
+        let report = compare_artifacts(&mk(5035.0), &mk(9000.0), &CompareConfig::default());
+        assert_eq!(report.hard_count(), 0, "{}", report.render());
+        assert_eq!(report.soft_count(), 1);
+        assert!(report.render().contains("wire cost drifted"));
+        assert!(report.render().contains("bits/payload"));
+        // The verdict column in the same row still gates hard.
+        let bad = Json::parse(&mk(5035.0).encode().replace("\"wrong\":0", "\"wrong\":1")).unwrap();
+        let report = compare_artifacts(&mk(5035.0), &bad, &CompareConfig::default());
+        assert_eq!(report.hard_count(), 1, "{}", report.render());
     }
 
     #[test]

@@ -17,12 +17,12 @@
 
 use std::io::{self, Read, Write};
 
-/// Hard cap on a frame body, in bytes.
-///
-/// Generous for every payload in this workspace (a full `Knowledge` message
-/// on a 64-node graph is a few KiB) while keeping a corrupt length field
-/// harmless.
-pub const MAX_FRAME_BYTES: usize = 1 << 24;
+use rmt_sim::framing::{self, FramingError};
+
+/// Hard cap on a frame body, in bytes — the workspace-wide limit from
+/// [`rmt_sim::framing`], re-exported so link code keeps its historical
+/// import path.
+pub use rmt_sim::framing::MAX_FRAME_BYTES;
 
 /// Why a frame failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,6 +72,15 @@ impl std::fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+impl From<FramingError> for FrameError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::Truncated { needed, got } => FrameError::Truncated { needed, got },
+            FramingError::TooLarge { announced } => FrameError::TooLarge { announced },
+        }
+    }
+}
 
 /// One frame of the link protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,8 +142,7 @@ const TAG_BYE: u8 = 6;
 impl Frame {
     /// Appends the length-prefixed encoding of this frame to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        let start = out.len();
-        out.extend_from_slice(&[0; 4]); // length placeholder
+        let mark = framing::begin_frame(out);
         match self {
             Frame::Hello {
                 session,
@@ -175,8 +183,7 @@ impl Frame {
             }
             Frame::Bye => out.push(TAG_BYE),
         }
-        let body_len = (out.len() - start - 4) as u32;
-        out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+        framing::end_frame(out, mark);
     }
 
     /// Encodes into a fresh buffer.
@@ -189,27 +196,9 @@ impl Frame {
     /// Decodes one frame from the front of `bytes`, returning it with the
     /// number of bytes consumed. Never panics on any input.
     pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
-        if bytes.len() < 4 {
-            return Err(FrameError::Truncated {
-                needed: 4,
-                got: bytes.len(),
-            });
-        }
-        let body_len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-        if body_len > MAX_FRAME_BYTES {
-            return Err(FrameError::TooLarge {
-                announced: body_len,
-            });
-        }
-        if bytes.len() < 4 + body_len {
-            return Err(FrameError::Truncated {
-                needed: 4 + body_len,
-                got: bytes.len(),
-            });
-        }
-        let body = &bytes[4..4 + body_len];
+        let (body, used) = framing::split_frame(bytes)?;
         let frame = Self::decode_body(body)?;
-        Ok((frame, 4 + body_len))
+        Ok((frame, used))
     }
 
     fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
@@ -295,19 +284,7 @@ impl Frame {
     /// a decode failure maps to `ErrorKind::InvalidData` carrying the
     /// [`FrameError`].
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
-        let mut len_buf = [0u8; 4];
-        r.read_exact(&mut len_buf)?;
-        let body_len = u32::from_le_bytes(len_buf) as usize;
-        if body_len > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                FrameError::TooLarge {
-                    announced: body_len,
-                },
-            ));
-        }
-        let mut body = vec![0u8; body_len];
-        r.read_exact(&mut body)?;
+        let body = framing::read_frame_body(r)?;
         Self::decode_body(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }

@@ -1,0 +1,301 @@
+//! [`SessionAdversary`]: lifts per-message adversaries to the batched frame
+//! layer, so the existing attack gallery (`rmt_core::protocols::attacks`)
+//! runs against sessions unchanged.
+//!
+//! One inner [`Adversary<PkaPayload>`] drives each payload slot. Delivered
+//! frames are expanded back to per-message envelopes and fed to each slot's
+//! inner adversary (knowledge messages, being slot-independent, go to slot
+//! 0); the inner adversaries' outputs are packed into per-link frames,
+//! preserving each link's message order. At batch size 1 the single inner
+//! adversary therefore sees and sends exactly what it would under the
+//! per-message runner — which is what makes the differential gate
+//! meaningful under active attacks, not just honest runs.
+//!
+//! Because the outer [`Transport`](rmt_sim::Transport) counts *frames*, the
+//! adapter separately tallies the model-layer (per-message) adversarial
+//! traffic in shared [`ModelCounters`], applying the same validity predicate
+//! the transport applies to the frames: sender corrupted and edge present.
+//! A packed frame groups messages of one (from, to) link, so the transport's
+//! frame-level verdict coincides with the per-message verdicts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rmt_core::protocols::rmt_pka::PkaPayload;
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::{Adversary, Envelope, Payload, RoundInboxes};
+
+use crate::codec::SessionFrame;
+
+/// Shared model-layer counters of adversarial traffic (cloneable handle;
+/// clones observe the same counts).
+#[derive(Clone, Debug, Default)]
+pub struct ModelCounters {
+    messages: Arc<AtomicU64>,
+    bits: Arc<AtomicU64>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl ModelCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ModelCounters::default()
+    }
+
+    /// Model-layer adversarial messages that passed the validity predicate.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Model-layer bits of those messages (per-message bit estimate).
+    pub fn bits(&self) -> u64 {
+        self.bits.load(Ordering::Relaxed)
+    }
+
+    /// Model-layer messages the transport will reject (forged sender or
+    /// non-edge).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// A frame-layer adversary driving one inner per-message adversary per slot.
+pub struct SessionAdversary {
+    corrupted: NodeSet,
+    inner: Vec<Box<dyn Adversary<PkaPayload>>>,
+    counters: ModelCounters,
+}
+
+impl SessionAdversary {
+    /// Wraps one inner adversary per payload slot. All inner adversaries
+    /// must corrupt the same node set.
+    ///
+    /// # Panics
+    ///
+    /// If `inner` is empty or the inner corrupted sets disagree.
+    pub fn new(inner: Vec<Box<dyn Adversary<PkaPayload>>>) -> Self {
+        let corrupted = inner
+            .first()
+            .expect("at least one slot adversary")
+            .corrupted()
+            .clone();
+        assert!(
+            inner.iter().all(|a| *a.corrupted() == corrupted),
+            "slot adversaries must corrupt the same set"
+        );
+        SessionAdversary {
+            corrupted,
+            inner,
+            counters: ModelCounters::new(),
+        }
+    }
+
+    /// A handle onto the model-layer counters (readable after the run).
+    pub fn counters(&self) -> ModelCounters {
+        self.counters.clone()
+    }
+
+    /// Packs the inner adversaries' per-message sends into per-link frames,
+    /// tallying the model-layer counters with the transport's predicate.
+    ///
+    /// Knowledge messages from slots other than 0 are dropped: knowledge is
+    /// slot-independent and flows once per session, mirroring the honest
+    /// engine's amortization (slot 0's adversary retains full control of
+    /// the session's knowledge traffic).
+    fn pack_outputs(
+        &self,
+        graph: &Graph,
+        per_slot: Vec<Vec<Envelope<PkaPayload>>>,
+    ) -> Vec<Envelope<SessionFrame>> {
+        type LinkBatch = ((NodeId, NodeId), Vec<(u32, PkaPayload)>);
+        let mut links: Vec<LinkBatch> = Vec::new();
+        for (slot, envs) in per_slot.into_iter().enumerate() {
+            for env in envs {
+                if slot > 0 && matches!(env.payload, PkaPayload::Knowledge { .. }) {
+                    continue;
+                }
+                if self.corrupted.contains(env.from) && graph.has_edge(env.from, env.to) {
+                    self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .bits
+                        .fetch_add(env.payload.encoded_bits() as u64, Ordering::Relaxed);
+                } else {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                let key = (env.from, env.to);
+                match links.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, items)) => items.push((slot as u32, env.payload)),
+                    None => links.push((key, vec![(slot as u32, env.payload)])),
+                }
+            }
+        }
+        links
+            .into_iter()
+            .map(|((from, to), items)| Envelope::new(from, to, SessionFrame::pack(&items)))
+            .collect()
+    }
+
+    /// Expands one round's delivered frames into per-slot inboxes for the
+    /// inner adversaries (frames that fail to expand are skipped).
+    fn expand_inboxes(
+        &self,
+        graph: &Graph,
+        delivered: &RoundInboxes<SessionFrame>,
+    ) -> Vec<RoundInboxes<PkaPayload>> {
+        let size = graph.nodes().last().map_or(0, |v| v.index() + 1);
+        let mut per_slot: Vec<RoundInboxes<PkaPayload>> = (0..self.inner.len())
+            .map(|_| RoundInboxes::new(size))
+            .collect();
+        for v in graph.nodes() {
+            for env in delivered.inbox(v) {
+                let Ok(msgs) = env.payload.expand() else {
+                    continue;
+                };
+                for (slot, payload) in msgs {
+                    if let Some(inbox) = per_slot.get_mut(slot as usize) {
+                        inbox.push(Envelope::new(env.from, env.to, payload));
+                    }
+                }
+            }
+        }
+        per_slot
+    }
+}
+
+impl Adversary<SessionFrame> for SessionAdversary {
+    fn corrupted(&self) -> &NodeSet {
+        &self.corrupted
+    }
+
+    fn start(&mut self, graph: &Graph) -> Vec<Envelope<SessionFrame>> {
+        let per_slot: Vec<_> = self.inner.iter_mut().map(|a| a.start(graph)).collect();
+        self.pack_outputs(graph, per_slot)
+    }
+
+    fn on_round(
+        &mut self,
+        round: u32,
+        graph: &Graph,
+        delivered: &RoundInboxes<SessionFrame>,
+    ) -> Vec<Envelope<SessionFrame>> {
+        let inboxes = self.expand_inboxes(graph, delivered);
+        let per_slot: Vec<_> = self
+            .inner
+            .iter_mut()
+            .zip(&inboxes)
+            .map(|(a, inbox)| a.on_round(round, graph, inbox))
+            .collect();
+        self.pack_outputs(graph, per_slot)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.inner.iter().all(|a| a.is_quiescent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::{FnAdversary, SilentAdversary};
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn line3() -> Graph {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        g
+    }
+
+    fn value_env(from: u32, to: u32, value: u64) -> Envelope<PkaPayload> {
+        Envelope::new(
+            from.into(),
+            to.into(),
+            PkaPayload::DealerValue {
+                value,
+                trail: vec![from.into()],
+            },
+        )
+    }
+
+    #[test]
+    fn packs_per_link_frames_and_counts_model_traffic() {
+        let g = line3();
+        let mk = |value: u64| -> Box<dyn Adversary<PkaPayload>> {
+            Box::new(FnAdversary::new(set(&[1]), move |round, _, _| {
+                if round == 0 {
+                    vec![
+                        value_env(1, 0, value),
+                        value_env(1, 2, value),
+                        value_env(1, 9, value), // non-edge: model-rejected
+                    ]
+                } else {
+                    vec![]
+                }
+            }))
+        };
+        let mut adv = SessionAdversary::new(vec![mk(7), mk(8)]);
+        let counters = adv.counters();
+        let out = adv.start(&g);
+        // Two links (1→0, 1→2), each carrying both slots in one frame.
+        assert_eq!(out.len(), 3); // 1→0, 1→2, 1→9 (transport rejects the last)
+        let to0 = out.iter().find(|e| e.to == 0.into()).unwrap();
+        let expanded = to0.payload.expand().unwrap();
+        assert_eq!(expanded.len(), 2);
+        assert_eq!(expanded[0].0, 0);
+        assert_eq!(expanded[1].0, 1);
+        assert_eq!(counters.messages(), 4);
+        assert_eq!(counters.rejected(), 2);
+        assert!(counters.bits() > 0);
+    }
+
+    #[test]
+    fn knowledge_from_secondary_slots_is_dropped() {
+        let g = line3();
+        let knowledge = |from: u32| -> Envelope<PkaPayload> {
+            Envelope::new(
+                from.into(),
+                2.into(),
+                PkaPayload::Knowledge {
+                    node: from.into(),
+                    view: line3(),
+                    structure: rmt_adversary::AdversaryStructure::trivial(),
+                    trail: vec![from.into()],
+                },
+            )
+        };
+        let mk = || -> Box<dyn Adversary<PkaPayload>> {
+            Box::new(FnAdversary::new(set(&[1]), move |round, _, _| {
+                if round == 0 {
+                    vec![knowledge(1)]
+                } else {
+                    vec![]
+                }
+            }))
+        };
+        let mut adv = SessionAdversary::new(vec![mk(), mk()]);
+        let out = adv.start(&g);
+        assert_eq!(out.len(), 1);
+        let expanded = out[0].payload.expand().unwrap();
+        assert_eq!(expanded.len(), 1, "slot 1's knowledge dropped");
+    }
+
+    #[test]
+    fn quiescence_requires_all_slots() {
+        let silent =
+            || -> Box<dyn Adversary<PkaPayload>> { Box::new(SilentAdversary::new(set(&[1]))) };
+        let adv = SessionAdversary::new(vec![silent(), silent()]);
+        assert!(adv.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "same set")]
+    fn mismatched_corruption_sets_panic() {
+        let a: Box<dyn Adversary<PkaPayload>> = Box::new(SilentAdversary::new(set(&[1])));
+        let b: Box<dyn Adversary<PkaPayload>> = Box::new(SilentAdversary::new(set(&[2])));
+        let _ = SessionAdversary::new(vec![a, b]);
+    }
+}

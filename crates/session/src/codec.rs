@@ -1,0 +1,706 @@
+//! The compact batch codec: one [`SessionFrame`] per link per round.
+//!
+//! A frame carries everything one node sends one neighbour in one round:
+//!
+//! * a **trail table** — every distinct propagation trail referenced by the
+//!   frame, front-coded (each trail stores only the suffix it does not
+//!   share with its predecessor) with varint node ids;
+//! * **entries** referencing trails by table index: a [`Values`] entry
+//!   ships a contiguous run of payload slots over one shared trail (the
+//!   batched form of type-1 dealer-value messages), a [`Knowledge`] entry
+//!   is one type-2 message.
+//!
+//! The codec is *stateless per frame*: a frame decodes alone, with no
+//! session-global template registry to keep consistent across drops,
+//! reorders or reconnects — which is what lets the same bytes run over the
+//! synchronous `Runner`, the fault-injecting `NetRunner` and the socket
+//! backend `rmt-netd` unchanged. Compression comes from three sources:
+//! batching (one trail serves every payload slot), front-coding (sibling
+//! trails share long prefixes), and varints (small ids cost one byte).
+//!
+//! [`expand`](SessionFrame::expand) losslessly recovers the per-message
+//! [`PkaPayload`] representation, so the safety arguments and the coupled
+//! run attacks of the per-message protocol transfer unchanged — the
+//! differential gate (`tests/differential.rs`) and the proptest round-trip
+//! suite (`tests/codec_props.rs`) enforce exactly that.
+//!
+//! [`Values`]: SessionEntry::Values
+//! [`Knowledge`]: SessionEntry::Knowledge
+
+use std::collections::HashMap;
+
+use rmt_adversary::AdversaryStructure;
+use rmt_core::protocols::rmt_pka::PkaPayload;
+use rmt_core::Value;
+use rmt_graph::Graph;
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::framing;
+use rmt_sim::{Payload, WirePayload};
+
+use crate::varint;
+
+/// Wire tag for [`SessionEntry::Values`].
+const TAG_VALUES: u8 = 0;
+/// Wire tag for [`SessionEntry::Knowledge`].
+const TAG_KNOWLEDGE: u8 = 1;
+
+/// One batched item of a [`SessionFrame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionEntry {
+    /// A run of type-1 dealer-value messages for consecutive payload slots
+    /// `first_slot .. first_slot + values.len()`, all sharing one trail.
+    Values {
+        /// Index into the frame's trail table.
+        trail: u32,
+        /// The payload slot of `values[0]`.
+        first_slot: u32,
+        /// One claimed dealer value per consecutive slot.
+        values: Vec<Value>,
+    },
+    /// A type-2 knowledge message (payload-independent: sent once per
+    /// session, not once per payload — the main amortization win).
+    Knowledge {
+        /// The node the claim is about.
+        node: NodeId,
+        /// The claimed view γ(node).
+        view: Graph,
+        /// The claimed local structure 𝒵_node.
+        structure: AdversaryStructure,
+        /// Index into the frame's trail table.
+        trail: u32,
+    },
+}
+
+/// Everything one node sends one neighbour in one round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionFrame {
+    /// The trail table: every distinct propagation trail this frame uses.
+    pub trails: Vec<Vec<NodeId>>,
+    /// The batched messages, referencing trails by index.
+    pub entries: Vec<SessionEntry>,
+}
+
+impl SessionFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        SessionFrame {
+            trails: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` if the frame carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Packs per-message `(slot, payload)` logical messages into one frame,
+    /// interning trails and coalescing consecutive same-trail value runs.
+    ///
+    /// `Knowledge` payloads are slot-independent; their slot component is
+    /// ignored (and comes back as `0` from [`expand`](Self::expand)).
+    pub fn pack(items: &[(u32, PkaPayload)]) -> SessionFrame {
+        let mut frame = SessionFrame::new();
+        let mut interned: HashMap<Vec<NodeId>, u32> = HashMap::new();
+        for (slot, payload) in items {
+            let trail_id = {
+                let trail = payload.trail();
+                match interned.get(trail) {
+                    Some(&id) => id,
+                    None => {
+                        let id = frame.trails.len() as u32;
+                        interned.insert(trail.to_vec(), id);
+                        frame.trails.push(trail.to_vec());
+                        id
+                    }
+                }
+            };
+            match payload {
+                PkaPayload::DealerValue { value, .. } => {
+                    // Extend the previous run when the slot is consecutive
+                    // and the trail identical.
+                    if let Some(SessionEntry::Values {
+                        trail,
+                        first_slot,
+                        values,
+                    }) = frame.entries.last_mut()
+                    {
+                        if *trail == trail_id
+                            && *first_slot as u64 + values.len() as u64 == u64::from(*slot)
+                        {
+                            values.push(*value);
+                            continue;
+                        }
+                    }
+                    frame.entries.push(SessionEntry::Values {
+                        trail: trail_id,
+                        first_slot: *slot,
+                        values: vec![*value],
+                    });
+                }
+                PkaPayload::Knowledge {
+                    node,
+                    view,
+                    structure,
+                    ..
+                } => {
+                    frame.entries.push(SessionEntry::Knowledge {
+                        node: *node,
+                        view: view.clone(),
+                        structure: structure.clone(),
+                        trail: trail_id,
+                    });
+                }
+            }
+        }
+        frame
+    }
+
+    /// Expands the frame back to per-message `(slot, payload)` logical
+    /// messages, in entry order — the exact multiset (and order) the
+    /// per-message protocol would have put on this link. `Knowledge`
+    /// messages carry slot `0` (they are payload-independent).
+    ///
+    /// Fails only when an entry references a trail index outside the table
+    /// (impossible for decoded frames — the decoder validates indices — but
+    /// hand-built frames are checked rather than trusted).
+    pub fn expand(&self) -> Result<Vec<(u32, PkaPayload)>, String> {
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            match entry {
+                SessionEntry::Values {
+                    trail,
+                    first_slot,
+                    values,
+                } => {
+                    let trail = self
+                        .trails
+                        .get(*trail as usize)
+                        .ok_or_else(|| format!("entry references missing trail {trail}"))?;
+                    for (i, value) in values.iter().enumerate() {
+                        out.push((
+                            first_slot + i as u32,
+                            PkaPayload::DealerValue {
+                                value: *value,
+                                trail: trail.clone(),
+                            },
+                        ));
+                    }
+                }
+                SessionEntry::Knowledge {
+                    node,
+                    view,
+                    structure,
+                    trail,
+                } => {
+                    let trail = self
+                        .trails
+                        .get(*trail as usize)
+                        .ok_or_else(|| format!("entry references missing trail {trail}"))?;
+                    out.push((
+                        0,
+                        PkaPayload::Knowledge {
+                            node: *node,
+                            view: view.clone(),
+                            structure: structure.clone(),
+                            trail: trail.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The frame's cost in the *model layer*: `(messages, bits)` of the
+    /// per-message representation it batches, using the same accounting as
+    /// [`PkaPayload::encoded_bits`]. This is what makes a batch-size-1
+    /// session counter-identical to the per-message `Runner` — and what the
+    /// amortized-vs-naive columns of E16 compare against.
+    ///
+    /// Entries referencing a missing trail (hand-built frames only) are
+    /// costed with trail length 0.
+    pub fn model_cost(&self) -> (u64, u64) {
+        const ID_BITS: u64 = 32;
+        let trail_bits = |idx: u32| -> u64 {
+            self.trails.get(idx as usize).map_or(0, |t| t.len() as u64) * ID_BITS
+        };
+        let mut msgs = 0u64;
+        let mut bits = 0u64;
+        for entry in &self.entries {
+            match entry {
+                SessionEntry::Values { trail, values, .. } => {
+                    msgs += values.len() as u64;
+                    bits += (64 + trail_bits(*trail)) * values.len() as u64;
+                }
+                SessionEntry::Knowledge {
+                    view,
+                    structure,
+                    trail,
+                    ..
+                } => {
+                    msgs += 1;
+                    bits += ID_BITS
+                        + view.node_count() as u64 * ID_BITS
+                        + view.edge_count() as u64 * 2 * ID_BITS
+                        + structure
+                            .maximal_sets()
+                            .iter()
+                            .map(|m| m.len() as u64 * ID_BITS)
+                            .sum::<u64>()
+                        + trail_bits(*trail);
+                }
+            }
+        }
+        (msgs, bits)
+    }
+
+    /// Total number of node ids stored in the trail table after
+    /// front-coding (the `wire.trail_suffix_nodes` counter).
+    pub fn trail_suffix_nodes(&self) -> u64 {
+        let mut total = 0u64;
+        let mut prev: &[NodeId] = &[];
+        for trail in &self.trails {
+            total += (trail.len() - shared_prefix(prev, trail)) as u64;
+            prev = trail;
+        }
+        total
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        varint::write_u64(self.trails.len() as u64, out);
+        let mut prev: &[NodeId] = &[];
+        for trail in &self.trails {
+            let shared = shared_prefix(prev, trail);
+            varint::write_u64(shared as u64, out);
+            varint::write_u64((trail.len() - shared) as u64, out);
+            for v in &trail[shared..] {
+                varint::write_u32(v.raw(), out);
+            }
+            prev = trail;
+        }
+        varint::write_u64(self.entries.len() as u64, out);
+        for entry in &self.entries {
+            match entry {
+                SessionEntry::Values {
+                    trail,
+                    first_slot,
+                    values,
+                } => {
+                    out.push(TAG_VALUES);
+                    varint::write_u32(*trail, out);
+                    varint::write_u32(*first_slot, out);
+                    varint::write_u64(values.len() as u64, out);
+                    for v in values {
+                        varint::write_u64(*v, out);
+                    }
+                }
+                SessionEntry::Knowledge {
+                    node,
+                    view,
+                    structure,
+                    trail,
+                } => {
+                    out.push(TAG_KNOWLEDGE);
+                    varint::write_u32(node.raw(), out);
+                    encode_graph(view, out);
+                    encode_structure(structure, out);
+                    varint::write_u32(*trail, out);
+                }
+            }
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<SessionFrame, String> {
+        let pos = &mut 0usize;
+        let n_trails = read_len(body, pos, "trail count", 2)?;
+        let mut trails: Vec<Vec<NodeId>> = Vec::with_capacity(n_trails);
+        for i in 0..n_trails {
+            let shared = varint::read_u64(body, pos, "trail shared prefix")? as usize;
+            let prev_len = trails.last().map_or(0, Vec::len);
+            if shared > prev_len {
+                return Err(format!(
+                    "trail {i} shares a {shared}-node prefix but the previous trail has {prev_len}"
+                ));
+            }
+            let suffix = read_len(body, pos, "trail suffix length", 1)?;
+            let mut trail: Vec<NodeId> = Vec::with_capacity(shared + suffix);
+            trail.extend_from_slice(&trails.last().map_or(&[][..], Vec::as_slice)[..shared]);
+            for _ in 0..suffix {
+                trail.push(NodeId::new(varint::read_u32(body, pos, "trail node")?));
+            }
+            trails.push(trail);
+        }
+        let n_entries = read_len(body, pos, "entry count", 1)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        let trail_idx = |body: &[u8], pos: &mut usize| -> Result<u32, String> {
+            let idx = varint::read_u32(body, pos, "trail index")?;
+            if idx as usize >= n_trails {
+                return Err(format!(
+                    "entry references trail {idx} but the table has {n_trails}"
+                ));
+            }
+            Ok(idx)
+        };
+        for _ in 0..n_entries {
+            let tag = *body
+                .get(*pos)
+                .ok_or_else(|| "truncated frame: entry tag missing".to_string())?;
+            *pos += 1;
+            match tag {
+                TAG_VALUES => {
+                    let trail = trail_idx(body, pos)?;
+                    let first_slot = varint::read_u32(body, pos, "first slot")?;
+                    let count = read_len(body, pos, "value count", 1)?;
+                    if u64::from(first_slot) + count as u64 > u64::from(u32::MAX) {
+                        return Err(format!(
+                            "value run {first_slot}+{count} overflows the slot range"
+                        ));
+                    }
+                    let mut values = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        values.push(varint::read_u64(body, pos, "value")?);
+                    }
+                    entries.push(SessionEntry::Values {
+                        trail,
+                        first_slot,
+                        values,
+                    });
+                }
+                TAG_KNOWLEDGE => {
+                    let node = NodeId::new(varint::read_u32(body, pos, "knowledge node")?);
+                    let view = decode_graph(body, pos)?;
+                    let structure = decode_structure(body, pos)?;
+                    let trail = trail_idx(body, pos)?;
+                    entries.push(SessionEntry::Knowledge {
+                        node,
+                        view,
+                        structure,
+                        trail,
+                    });
+                }
+                other => return Err(format!("unknown session entry tag {other}")),
+            }
+        }
+        if *pos != body.len() {
+            return Err(format!(
+                "frame body has {} trailing bytes after the last entry",
+                body.len() - *pos
+            ));
+        }
+        Ok(SessionFrame { trails, entries })
+    }
+}
+
+impl Default for SessionFrame {
+    fn default() -> Self {
+        SessionFrame::new()
+    }
+}
+
+/// The longest common prefix of two trails, in nodes.
+fn shared_prefix(a: &[NodeId], b: &[NodeId]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// A collection length, sanity-checked against the bytes actually left
+/// (each element occupies at least `min_elem_bytes` on the wire) so a
+/// corrupt length cannot force a giant allocation.
+fn read_len(
+    body: &[u8],
+    pos: &mut usize,
+    what: &str,
+    min_elem_bytes: usize,
+) -> Result<usize, String> {
+    let n = varint::read_u64(body, pos, what)? as usize;
+    let remaining = body.len() - *pos;
+    if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+        return Err(format!(
+            "corrupt frame: {what} claims {n} elements but only {remaining} bytes remain"
+        ));
+    }
+    Ok(n)
+}
+
+fn encode_graph(g: &Graph, out: &mut Vec<u8>) {
+    varint::write_u64(g.nodes().len() as u64, out);
+    for v in g.nodes().iter() {
+        varint::write_u32(v.raw(), out);
+    }
+    varint::write_u64(g.edge_count() as u64, out);
+    for (u, v) in g.edges() {
+        varint::write_u32(u.raw(), out);
+        varint::write_u32(v.raw(), out);
+    }
+}
+
+fn decode_graph(body: &[u8], pos: &mut usize) -> Result<Graph, String> {
+    let n = read_len(body, pos, "view node count", 1)?;
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_node(NodeId::new(varint::read_u32(body, pos, "view node")?));
+    }
+    let edges = read_len(body, pos, "view edge count", 2)?;
+    for _ in 0..edges {
+        let u = NodeId::new(varint::read_u32(body, pos, "view edge endpoint")?);
+        let v = NodeId::new(varint::read_u32(body, pos, "view edge endpoint")?);
+        if !g.contains_node(u) || !g.contains_node(v) {
+            return Err(format!(
+                "corrupt frame: view edge ({u}, {v}) references a node absent from the view"
+            ));
+        }
+        g.add_edge(u, v);
+    }
+    Ok(g)
+}
+
+fn encode_structure(z: &AdversaryStructure, out: &mut Vec<u8>) {
+    let sets = z.maximal_sets();
+    varint::write_u64(sets.len() as u64, out);
+    for set in sets {
+        varint::write_u64(set.len() as u64, out);
+        for v in set.iter() {
+            varint::write_u32(v.raw(), out);
+        }
+    }
+}
+
+fn decode_structure(body: &[u8], pos: &mut usize) -> Result<AdversaryStructure, String> {
+    let n = read_len(body, pos, "structure set count", 1)?;
+    let mut sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = read_len(body, pos, "structure set length", 1)?;
+        let mut set = NodeSet::new();
+        for _ in 0..len {
+            set.insert(NodeId::new(varint::read_u32(body, pos, "structure node")?));
+        }
+        sets.push(set);
+    }
+    Ok(AdversaryStructure::from_sets(sets))
+}
+
+impl Payload for SessionFrame {
+    /// The *actual* encoded size — the compact codec is the wire format, so
+    /// wire accounting bills real bytes, not the per-message estimate
+    /// (which [`model_cost`](SessionFrame::model_cost) reports separately).
+    fn encoded_bits(&self) -> usize {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out.len() * 8
+    }
+}
+
+impl WirePayload for SessionFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mark = framing::begin_frame(out);
+        self.encode_body(out);
+        framing::end_frame(out, mark);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, usize), String> {
+        let (body, used) = framing::split_frame(bytes).map_err(|e| e.to_string())?;
+        let frame = Self::decode_body(body)?;
+        Ok((frame, used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(1.into(), 3.into());
+        g.add_edge(2.into(), 3.into());
+        g
+    }
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn sample() -> SessionFrame {
+        SessionFrame {
+            trails: vec![
+                vec![0.into()],
+                vec![0.into(), 1.into()],
+                vec![0.into(), 1.into(), 4.into()],
+            ],
+            entries: vec![
+                SessionEntry::Values {
+                    trail: 1,
+                    first_slot: 0,
+                    values: vec![7, 8, 9],
+                },
+                SessionEntry::Knowledge {
+                    node: 1.into(),
+                    view: diamond(),
+                    structure: AdversaryStructure::from_sets([set(&[2]), set(&[1, 3])]),
+                    trail: 2,
+                },
+                SessionEntry::Values {
+                    trail: 0,
+                    first_slot: 5,
+                    values: vec![u64::MAX],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let frame = sample();
+        let bytes = frame.to_bytes();
+        assert_eq!(SessionFrame::from_bytes(&bytes), Ok(frame.clone()));
+        let (back, used) = SessionFrame::decode(&bytes).expect("decode");
+        assert_eq!(back, frame);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn pack_expand_round_trip_preserves_order_and_slots() {
+        let items: Vec<(u32, PkaPayload)> = vec![
+            (
+                0,
+                PkaPayload::DealerValue {
+                    value: 7,
+                    trail: vec![0.into(), 1.into()],
+                },
+            ),
+            (
+                1,
+                PkaPayload::DealerValue {
+                    value: 8,
+                    trail: vec![0.into(), 1.into()],
+                },
+            ),
+            (
+                0,
+                PkaPayload::Knowledge {
+                    node: 1.into(),
+                    view: diamond(),
+                    structure: AdversaryStructure::from_sets([set(&[2])]),
+                    trail: vec![1.into()],
+                },
+            ),
+            // Non-consecutive slot on the same trail: a second run.
+            (
+                5,
+                PkaPayload::DealerValue {
+                    value: 9,
+                    trail: vec![0.into(), 1.into()],
+                },
+            ),
+        ];
+        let frame = SessionFrame::pack(&items);
+        assert_eq!(frame.trails.len(), 2); // the two distinct trails interned
+        assert_eq!(frame.entries.len(), 3); // slots 0..2 coalesced into one run
+        assert_eq!(frame.expand().expect("expand"), items);
+    }
+
+    #[test]
+    fn batching_amortizes_wire_bytes() {
+        let one = SessionFrame::pack(&[(
+            0,
+            PkaPayload::DealerValue {
+                value: 7,
+                trail: vec![0.into(), 1.into(), 2.into()],
+            },
+        )]);
+        let many_items: Vec<(u32, PkaPayload)> = (0..64)
+            .map(|slot| {
+                (
+                    slot,
+                    PkaPayload::DealerValue {
+                        value: 7,
+                        trail: vec![0.into(), 1.into(), 2.into()],
+                    },
+                )
+            })
+            .collect();
+        let many = SessionFrame::pack(&many_items);
+        // 64 payloads cost far less than 64 single-payload frames.
+        assert!(many.encoded_bits() < 8 * one.encoded_bits());
+    }
+
+    #[test]
+    fn model_cost_matches_per_message_accounting() {
+        let frame = sample();
+        let expanded = frame.expand().expect("expand");
+        let msgs = expanded.len() as u64;
+        let bits: u64 = expanded.iter().map(|(_, p)| p.encoded_bits() as u64).sum();
+        assert_eq!(frame.model_cost(), (msgs, bits));
+    }
+
+    #[test]
+    fn front_coding_counts_suffix_nodes() {
+        let frame = sample();
+        // Trails: [0], [0,1], [0,1,4] → suffixes 1 + 1 + 1.
+        assert_eq!(frame.trail_suffix_nodes(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input_without_panicking() {
+        // Unknown entry tag.
+        let mut frame_bytes = Vec::new();
+        let mark = framing::begin_frame(&mut frame_bytes);
+        varint::write_u64(0, &mut frame_bytes); // no trails
+        varint::write_u64(1, &mut frame_bytes); // one entry
+        frame_bytes.push(9); // bad tag
+        framing::end_frame(&mut frame_bytes, mark);
+        assert!(SessionFrame::from_bytes(&frame_bytes).is_err());
+
+        // Entry referencing a missing trail.
+        let mut body = Vec::new();
+        varint::write_u64(0, &mut body); // no trails
+        varint::write_u64(1, &mut body);
+        body.push(TAG_VALUES);
+        varint::write_u32(0, &mut body); // trail 0 of an empty table
+        varint::write_u32(0, &mut body);
+        varint::write_u64(1, &mut body);
+        varint::write_u64(7, &mut body);
+        let mut wire = Vec::new();
+        let mark = framing::begin_frame(&mut wire);
+        wire.extend_from_slice(&body);
+        framing::end_frame(&mut wire, mark);
+        assert!(SessionFrame::from_bytes(&wire).is_err());
+
+        // A length bomb is caught before allocation.
+        let mut bomb = Vec::new();
+        let mark = framing::begin_frame(&mut bomb);
+        varint::write_u64(u64::from(u32::MAX), &mut bomb); // trail count
+        framing::end_frame(&mut bomb, mark);
+        assert!(SessionFrame::from_bytes(&bomb).is_err());
+
+        // Every truncation of a valid encoding errors cleanly.
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(SessionFrame::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+
+        // Trailing garbage inside the announced body is rejected.
+        let mut padded = Vec::new();
+        let mark = framing::begin_frame(&mut padded);
+        varint::write_u64(0, &mut padded);
+        varint::write_u64(0, &mut padded);
+        padded.push(0xAB);
+        framing::end_frame(&mut padded, mark);
+        assert!(SessionFrame::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn shared_prefix_beyond_previous_trail_is_rejected() {
+        let mut body = Vec::new();
+        varint::write_u64(1, &mut body); // one trail
+        varint::write_u64(3, &mut body); // shares 3 nodes with a non-existent predecessor
+        varint::write_u64(0, &mut body);
+        varint::write_u64(0, &mut body); // no entries
+        let mut wire = Vec::new();
+        let mark = framing::begin_frame(&mut wire);
+        wire.extend_from_slice(&body);
+        framing::end_frame(&mut wire, mark);
+        assert!(SessionFrame::from_bytes(&wire).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! LEB128 variable-length integers — the primitive of the compact codec.
+//!
+//! Node ids, trail indices, slot numbers and collection lengths are all
+//! small in practice (a few bits), so fixed 4-byte fields waste most of the
+//! wire. LEB128 spends one byte per 7 payload bits: ids below 128 cost one
+//! byte instead of four. Decoding is bounds- and overflow-checked and never
+//! panics on adversarial input.
+
+/// Appends the LEB128 encoding of `x` to `out`.
+pub fn write_u64(mut x: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the LEB128 encoding of `x` to `out`.
+pub fn write_u32(x: u32, out: &mut Vec<u8>) {
+    write_u64(u64::from(x), out);
+}
+
+/// The number of bytes [`write_u64`] would append for `x`.
+pub fn encoded_len(x: u64) -> usize {
+    (64 - x.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Decodes one LEB128 `u64` from `bytes` starting at `*pos`, advancing
+/// `*pos` past it. Truncated or overlong input yields a descriptive `Err`.
+pub fn read_u64(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, String> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| format!("truncated varint: {what} ends at offset {pos}", pos = *pos))?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(format!("overlong varint: {what} overflows u64"));
+        }
+        if shift > 63 {
+            return Err(format!("overlong varint: {what} exceeds 10 bytes"));
+        }
+        x |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// [`read_u64`] restricted to the `u32` range (node ids, indices, lengths).
+pub fn read_u32(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u32, String> {
+    let x = read_u64(bytes, pos, what)?;
+    u32::try_from(x).map_err(|_| format!("varint out of range: {what} = {x} exceeds u32"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_the_range() {
+        for x in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            write_u64(x, &mut out);
+            assert_eq!(out.len(), encoded_len(x), "len of {x}");
+            let mut pos = 0;
+            assert_eq!(read_u64(&out, &mut pos, "x"), Ok(x));
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn small_ids_cost_one_byte() {
+        let mut out = Vec::new();
+        write_u32(19, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn truncation_and_overflow_error_cleanly() {
+        // Continuation bit set but input ends.
+        let mut pos = 0;
+        assert!(read_u64(&[0x80], &mut pos, "t").is_err());
+        // 11 continuation bytes overflow the shift.
+        let mut pos = 0;
+        assert!(read_u64(&[0x80; 11], &mut pos, "t").is_err());
+        // 10 bytes whose top payload exceeds the u64 range.
+        let mut bytes = vec![0xff; 9];
+        bytes.push(0x7f);
+        let mut pos = 0;
+        assert!(read_u64(&bytes, &mut pos, "t").is_err());
+        // u32 range check.
+        let mut out = Vec::new();
+        write_u64(u64::from(u32::MAX) + 1, &mut out);
+        let mut pos = 0;
+        assert!(read_u32(&out, &mut pos, "t").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the compact session codec: every frame round-trips
+//! through its encoding byte-exactly, pack/expand are mutually inverse, and
+//! no byte sequence — arbitrary, truncated, or bit-flipped — can make the
+//! decoder panic or allocate unboundedly. Frames cross real sockets in the
+//! `rmt-netd` backend; the decoder's only legal failure mode is `Err`.
+
+use proptest::prelude::*;
+use rmt_adversary::AdversaryStructure;
+use rmt_core::protocols::rmt_pka::PkaPayload;
+use rmt_graph::Graph;
+use rmt_session::{SessionEntry, SessionFrame};
+use rmt_sets::{NodeId, NodeSet};
+use rmt_sim::WirePayload;
+
+/// The vendored proptest stub has no `u8` support; derive bytes from `u32`.
+fn arb_byte() -> impl Strategy<Value = u8> {
+    any::<u32>().prop_map(|x| x as u8)
+}
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(arb_byte(), 0..max)
+}
+
+/// Node ids drawn from a small range so trails share prefixes (exercising
+/// the front-coder) while still hitting duplicates and gaps.
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..24).prop_map(NodeId::new)
+}
+
+fn arb_trail() -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(arb_node(), 0..6)
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        proptest::collection::vec(arb_node(), 0..6),
+        proptest::collection::vec((arb_node(), arb_node()), 0..8),
+    )
+        .prop_map(|(nodes, edges)| {
+            let mut g = Graph::new();
+            for v in nodes {
+                g.add_node(v);
+            }
+            for (u, v) in edges {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+}
+
+fn arb_structure() -> impl Strategy<Value = AdversaryStructure> {
+    proptest::collection::vec(proptest::collection::vec(arb_node(), 0..4), 0..4).prop_map(|sets| {
+        AdversaryStructure::from_sets(
+            sets.into_iter()
+                .map(|ids| ids.into_iter().collect::<NodeSet>()),
+        )
+    })
+}
+
+/// An arbitrary *valid* frame: every entry references a trail that exists.
+fn arb_frame() -> impl Strategy<Value = SessionFrame> {
+    (
+        proptest::collection::vec(arb_trail(), 1..5),
+        proptest::collection::vec(
+            (
+                (any::<u32>(), 0u32..10_000, any::<u32>()),
+                proptest::collection::vec(any::<u64>(), 1..5),
+                (arb_node(), arb_graph(), arb_structure()),
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(trails, raw_entries)| {
+            let n_trails = trails.len() as u32;
+            let entries = raw_entries
+                .into_iter()
+                .map(
+                    |((kind, first_slot, trail), values, (node, view, structure))| {
+                        let trail = trail % n_trails;
+                        if kind % 2 == 0 {
+                            SessionEntry::Values {
+                                trail,
+                                first_slot,
+                                values,
+                            }
+                        } else {
+                            SessionEntry::Knowledge {
+                                node,
+                                view,
+                                structure,
+                                trail,
+                            }
+                        }
+                    },
+                )
+                .collect();
+            SessionFrame { trails, entries }
+        })
+}
+
+/// Per-message payloads for the pack/expand inverse property. Trails are
+/// nonempty (as every protocol-generated trail is).
+fn arb_payload_item() -> impl Strategy<Value = (u32, PkaPayload)> {
+    (
+        (0u32..8, any::<u32>(), any::<u64>()),
+        proptest::collection::vec(arb_node(), 1..5),
+        (arb_node(), arb_graph(), arb_structure()),
+    )
+        .prop_map(|((slot, kind, value), trail, (node, view, structure))| {
+            if kind % 2 == 0 {
+                (slot, PkaPayload::DealerValue { value, trail })
+            } else {
+                (
+                    0,
+                    PkaPayload::Knowledge {
+                        node,
+                        view,
+                        structure,
+                        trail,
+                    },
+                )
+            }
+        })
+}
+
+proptest! {
+    /// Every frame survives encode → decode unchanged, and decode reports
+    /// exactly how many bytes it consumed.
+    #[test]
+    fn frame_round_trips(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        let (decoded, used) = SessionFrame::decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// pack → expand recovers the logical messages exactly (order, slots,
+    /// payloads), modulo the documented slot-0 normalization of knowledge.
+    #[test]
+    fn pack_expand_is_identity(items in proptest::collection::vec(arb_payload_item(), 0..12)) {
+        let frame = SessionFrame::pack(&items);
+        let expanded = frame.expand().expect("packed frames always expand");
+        prop_assert_eq!(expanded, items);
+    }
+
+    /// The model cost of a packed frame equals the per-message accounting of
+    /// what it expands to.
+    #[test]
+    fn model_cost_matches_expansion(items in proptest::collection::vec(arb_payload_item(), 0..12)) {
+        use rmt_sim::Payload;
+        let frame = SessionFrame::pack(&items);
+        let expanded = frame.expand().unwrap();
+        let msgs = expanded.len() as u64;
+        let bits: u64 = expanded.iter().map(|(_, p)| p.encoded_bits() as u64).sum();
+        prop_assert_eq!(frame.model_cost(), (msgs, bits));
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in arb_bytes(192)) {
+        let _ = SessionFrame::decode(&bytes);
+        let _ = SessionFrame::from_bytes(&bytes);
+    }
+
+    /// Every truncation of a valid encoding fails cleanly — a session frame
+    /// is self-delimiting, so no strict prefix is itself a frame.
+    #[test]
+    fn truncations_fail_cleanly(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(SessionFrame::decode(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    /// Single bit flips anywhere in a valid encoding either decode to *some*
+    /// frame (whose re-encoding round-trips) or fail with an error — never
+    /// a panic, never an out-of-bounds read or unbounded allocation.
+    #[test]
+    fn bit_flips_never_panic(frame in arb_frame(), byte_idx in any::<u32>(), bit in 0u32..8) {
+        let mut bytes = frame.to_bytes();
+        let idx = byte_idx as usize % bytes.len();
+        bytes[idx] ^= 1u8 << bit;
+        if let Ok((decoded, _)) = SessionFrame::decode(&bytes) {
+            let again = decoded.to_bytes();
+            let (twice, _) = SessionFrame::decode(&again).expect("re-encoding decodes");
+            prop_assert_eq!(twice, decoded);
+        }
+        let _ = SessionFrame::from_bytes(&bytes);
+    }
+}

@@ -44,6 +44,7 @@
 
 mod adversary;
 mod coupled;
+pub mod framing;
 mod message;
 mod metrics;
 mod protocol;

@@ -24,5 +24,6 @@ pub use rmt_hunt as hunt;
 pub use rmt_net as net;
 pub use rmt_netd as netd;
 pub use rmt_obs as obs;
+pub use rmt_session as session;
 pub use rmt_sets as sets;
 pub use rmt_sim as sim;

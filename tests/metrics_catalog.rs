@@ -111,6 +111,14 @@ fn emitted_names() -> (Vec<&'static str>, Vec<String>) {
     .expect("loopback session");
     outcome.stats.record_into(&reg);
 
+    // The session layer: one small batched transmission registers every
+    // `session.*` and `wire.*` name.
+    let sess_inst = solvable_diamond();
+    let plan = rmt_session::SessionPlan::build(&sess_inst);
+    rmt_session::Session::new(&plan, vec![7, 8])
+        .run_honest()
+        .record_into(&reg);
+
     let spans = prof
         .events()
         .iter()
@@ -144,6 +152,10 @@ fn every_emitted_metric_is_documented_in_metrics_md() {
         "netd.conn.dials",
         "netd.wire.frames_sent",
         "netd.wire.frames_received",
+        "session.payloads",
+        "session.decide_cache_hits",
+        "wire.frame_bits",
+        "wire.model_bits",
     ] {
         assert!(
             metrics.contains(&expected),
