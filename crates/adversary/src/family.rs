@@ -1,0 +1,289 @@
+//! Pluggable antichain backends for building monotone families.
+//!
+//! [`AdversaryStructure`] keeps its canonical representation — a sorted
+//! `Vec<NodeSet>` antichain — because every decider iterates
+//! `maximal_sets()` and the canonical form is what makes structural equality
+//! and the determinism gates work. What *differs* per workload is how the
+//! antichain is **built**: pruning a stream of candidate sets (restrictions,
+//! unions, the `|ℰ|·|ℱ|` pair grid of a binary ⊕) costs a subsumption check
+//! per candidate, and past a few hundred sets the explicit linear scan is
+//! the dominant cost of `JointView::materialize_bounded*` and of
+//! constructing large threshold structures.
+//!
+//! [`MonotoneFamily`] abstracts that build step. [`ExplicitFamily`] is the
+//! historical sorted-list algorithm, bit-for-bit; [`TrieFamily`] routes the
+//! same inserts through an [`rmt_sets::SetTrie`], whose superset/subset
+//! queries prune on shared prefixes. [`FamilyBackend::select`] picks per
+//! candidate count, overridable with the `RMT_FAMILY_BACKEND` environment
+//! variable (`explicit` | `trie`). Both backends produce the *same* sorted
+//! antichain, so which one ran is unobservable in results — only in time.
+
+use std::sync::OnceLock;
+
+use rmt_sets::{NodeSet, SetTrie};
+
+/// A monotone family of node sets under construction, abstracted over the
+/// antichain representation.
+///
+/// Implementations maintain the same contract as
+/// [`AdversaryStructure`](crate::AdversaryStructure): the family is the
+/// down-closure of the stored antichain plus the implied ∅; the empty set is
+/// never stored; [`MonotoneFamily::into_antichain`] returns the maximal sets
+/// in canonical sorted [`NodeSet`] order.
+pub trait MonotoneFamily {
+    /// Adds `set` (and implicitly its down-closure) to the family, pruning
+    /// subsumed sets. Returns `true` if the family grew; the empty set is a
+    /// member already and reports `false`.
+    fn insert_maximal(&mut self, set: NodeSet) -> bool;
+
+    /// Returns `true` if `set` is a member (a subset of some maximal set, or
+    /// empty).
+    fn contains_member(&self, set: &NodeSet) -> bool;
+
+    /// Number of maximal sets currently stored.
+    fn maximal_count(&self) -> usize;
+
+    /// The antichain of maximal sets, sorted in canonical [`NodeSet`] order.
+    fn into_antichain(self) -> Vec<NodeSet>;
+}
+
+/// The explicit sorted-`Vec` antichain: one subsumption scan per insert.
+///
+/// This is exactly the historical `AdversaryStructure::add_set` algorithm
+/// and serves as the differential ground truth for [`TrieFamily`].
+#[derive(Clone, Debug, Default)]
+pub struct ExplicitFamily {
+    sets: Vec<NodeSet>,
+}
+
+impl ExplicitFamily {
+    /// Creates an empty family (`{∅}`).
+    pub fn new() -> Self {
+        ExplicitFamily::default()
+    }
+}
+
+impl MonotoneFamily for ExplicitFamily {
+    fn insert_maximal(&mut self, set: NodeSet) -> bool {
+        if set.is_empty() || self.sets.iter().any(|m| set.is_subset(m)) {
+            return false;
+        }
+        self.sets.retain(|m| !m.is_subset(&set));
+        let pos = self
+            .sets
+            .binary_search(&set)
+            .expect_err("subsumption scan rules out equal sets");
+        self.sets.insert(pos, set);
+        true
+    }
+
+    fn contains_member(&self, set: &NodeSet) -> bool {
+        set.is_empty() || self.sets.iter().any(|m| set.is_subset(m))
+    }
+
+    fn maximal_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn into_antichain(self) -> Vec<NodeSet> {
+        self.sets
+    }
+}
+
+/// The trie-compressed antichain: subsumption checks walk an
+/// [`rmt_sets::SetTrie`] instead of scanning a list.
+#[derive(Clone, Debug, Default)]
+pub struct TrieFamily {
+    trie: SetTrie,
+}
+
+impl TrieFamily {
+    /// Creates an empty family (`{∅}`).
+    pub fn new() -> Self {
+        TrieFamily::default()
+    }
+
+    /// Trie nodes currently allocated — the compressed size of the family.
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
+    }
+}
+
+impl MonotoneFamily for TrieFamily {
+    fn insert_maximal(&mut self, set: NodeSet) -> bool {
+        self.trie.insert_maximal(&set)
+    }
+
+    fn contains_member(&self, set: &NodeSet) -> bool {
+        set.is_empty() || self.trie.contains_superset(set)
+    }
+
+    fn maximal_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    fn into_antichain(self) -> Vec<NodeSet> {
+        self.trie.to_sorted_sets()
+    }
+}
+
+/// Candidate count at and above which [`FamilyBackend::select`] switches
+/// from the explicit list to the trie. Calibrated with the `antichain_ops`
+/// Criterion bench: below a few hundred candidates the linear scan's cache
+/// friendliness wins; above it the trie's pruned subsumption checks do.
+pub const TRIE_SELECT_THRESHOLD: usize = 256;
+
+/// Which antichain representation to build a family with.
+///
+/// Selection is a pure function of the candidate count (plus a process-wide
+/// env override read once), so any code path that records backend choices as
+/// metrics stays deterministic across thread counts and runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyBackend {
+    /// Sorted `Vec<NodeSet>` with linear subsumption scans.
+    Explicit,
+    /// [`rmt_sets::SetTrie`]-backed antichain.
+    Trie,
+}
+
+impl FamilyBackend {
+    /// Picks a backend for a build expected to see `expected_candidates`
+    /// insert attempts: [`FamilyBackend::Trie`] from
+    /// [`TRIE_SELECT_THRESHOLD`] candidates up, [`FamilyBackend::Explicit`]
+    /// below. `RMT_FAMILY_BACKEND=explicit|trie` (read once per process)
+    /// forces one backend everywhere — the differential test suites use the
+    /// forced modes to pin both representations against each other.
+    pub fn select(expected_candidates: usize) -> FamilyBackend {
+        if let Some(forced) = backend_override() {
+            return forced;
+        }
+        if expected_candidates >= TRIE_SELECT_THRESHOLD {
+            FamilyBackend::Trie
+        } else {
+            FamilyBackend::Explicit
+        }
+    }
+
+    /// An empty builder for this backend.
+    pub fn builder(self) -> FamilyBuilder {
+        match self {
+            FamilyBackend::Explicit => FamilyBuilder::Explicit(ExplicitFamily::new()),
+            FamilyBackend::Trie => FamilyBuilder::Trie(TrieFamily::new()),
+        }
+    }
+}
+
+fn backend_override() -> Option<FamilyBackend> {
+    static OVERRIDE: OnceLock<Option<FamilyBackend>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("RMT_FAMILY_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("explicit") => Some(FamilyBackend::Explicit),
+        Ok(v) if v.eq_ignore_ascii_case("trie") => Some(FamilyBackend::Trie),
+        _ => None,
+    })
+}
+
+/// A [`MonotoneFamily`] dispatching to the backend chosen by
+/// [`FamilyBackend::select`], without boxing.
+#[derive(Clone, Debug)]
+pub enum FamilyBuilder {
+    /// Explicit sorted-list build.
+    Explicit(ExplicitFamily),
+    /// Trie-compressed build.
+    Trie(TrieFamily),
+}
+
+impl MonotoneFamily for FamilyBuilder {
+    fn insert_maximal(&mut self, set: NodeSet) -> bool {
+        match self {
+            FamilyBuilder::Explicit(f) => f.insert_maximal(set),
+            FamilyBuilder::Trie(f) => f.insert_maximal(set),
+        }
+    }
+
+    fn contains_member(&self, set: &NodeSet) -> bool {
+        match self {
+            FamilyBuilder::Explicit(f) => f.contains_member(set),
+            FamilyBuilder::Trie(f) => f.contains_member(set),
+        }
+    }
+
+    fn maximal_count(&self) -> usize {
+        match self {
+            FamilyBuilder::Explicit(f) => f.maximal_count(),
+            FamilyBuilder::Trie(f) => f.maximal_count(),
+        }
+    }
+
+    fn into_antichain(self) -> Vec<NodeSet> {
+        match self {
+            FamilyBuilder::Explicit(f) => f.into_antichain(),
+            FamilyBuilder::Trie(f) => f.into_antichain(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    fn both() -> [FamilyBuilder; 2] {
+        [
+            FamilyBackend::Explicit.builder(),
+            FamilyBackend::Trie.builder(),
+        ]
+    }
+
+    #[test]
+    fn backends_agree_on_a_scripted_build() {
+        let script = [
+            set(&[0, 1]),
+            set(&[0]),
+            NodeSet::new(),
+            set(&[2, 4]),
+            set(&[0, 1, 2]),
+            set(&[2]),
+            set(&[3]),
+            set(&[2, 4]),
+        ];
+        let mut results = Vec::new();
+        for mut f in both() {
+            let grew: Vec<bool> = script.iter().map(|s| f.insert_maximal(s.clone())).collect();
+            assert!(f.contains_member(&set(&[1, 2])));
+            assert!(f.contains_member(&NodeSet::new()));
+            assert!(!f.contains_member(&set(&[3, 4])));
+            assert_eq!(f.maximal_count(), 3);
+            results.push((grew, f.into_antichain()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(results[0].1.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn selection_is_monotone_in_candidate_count() {
+        if std::env::var("RMT_FAMILY_BACKEND").is_ok() {
+            return; // forced mode: selection intentionally constant
+        }
+        assert_eq!(FamilyBackend::select(0), FamilyBackend::Explicit);
+        assert_eq!(
+            FamilyBackend::select(TRIE_SELECT_THRESHOLD - 1),
+            FamilyBackend::Explicit
+        );
+        assert_eq!(
+            FamilyBackend::select(TRIE_SELECT_THRESHOLD),
+            FamilyBackend::Trie
+        );
+    }
+
+    #[test]
+    fn trie_family_reports_compressed_size() {
+        let mut f = TrieFamily::new();
+        f.insert_maximal(set(&[0, 1, 2]));
+        f.insert_maximal(set(&[0, 1, 3]));
+        assert_eq!(f.node_count(), 4);
+        assert_eq!(f.maximal_count(), 2);
+    }
+}

@@ -124,8 +124,10 @@ impl JointView {
     /// [`JointView::materialize_bounded_par`] with the fold effort recorded
     /// in `reg`, under the same metric names as
     /// [`JointView::materialize_bounded_observed`] (`join.folds`,
-    /// `join.antichain_size`, `join.fold_ns`). The counter values are
-    /// deterministic across thread counts because the fold sequence is.
+    /// `join.antichain_size`, `join.fold_ns`, `family.*`). The counter
+    /// values are deterministic across thread counts because the fold
+    /// sequence is — and because the antichain backend is a pure function of
+    /// the candidate count.
     pub fn materialize_bounded_par_observed(
         &self,
         max_antichain: usize,
@@ -135,11 +137,14 @@ impl JointView {
         let _timer = reg.timer("join.fold_ns");
         let folds = reg.counter("join.folds");
         let sizes = reg.histogram("join.antichain_size");
+        let family = FamilyCounters::new(reg);
         let mut acc = RestrictedStructure::from_parts(NodeSet::new(), []);
         for p in &self.parts {
+            family.observe(&acc, p);
             acc = acc.join_par(p, threads);
             folds.inc();
             let len = acc.structure().maximal_sets().len();
+            family.kept.add(len as u64);
             sizes.record(len as u64);
             if len > max_antichain {
                 return None;
@@ -154,7 +159,11 @@ impl JointView {
     /// * `join.folds` — binary ⊕ applications;
     /// * `join.antichain_size` — size of each intermediate antichain
     ///   (histogram; its `max` is the peak blow-up of the fold);
-    /// * `join.fold_ns` — wall time of the whole fold (histogram).
+    /// * `join.fold_ns` — wall time of the whole fold (histogram);
+    /// * `family.joins_explicit` / `family.joins_trie` — which antichain
+    ///   backend each binary ⊕ selected;
+    /// * `family.candidate_sets` / `family.kept_sets` — pair-grid candidates
+    ///   fed to the backends vs. maximal sets surviving subsumption.
     pub fn materialize_bounded_observed(
         &self,
         max_antichain: usize,
@@ -163,17 +172,51 @@ impl JointView {
         let _timer = reg.timer("join.fold_ns");
         let folds = reg.counter("join.folds");
         let sizes = reg.histogram("join.antichain_size");
+        let family = FamilyCounters::new(reg);
         let mut acc = RestrictedStructure::from_parts(NodeSet::new(), []);
         for p in &self.parts {
+            family.observe(&acc, p);
             acc = acc.join(p);
             folds.inc();
             let len = acc.structure().maximal_sets().len();
+            family.kept.add(len as u64);
             sizes.record(len as u64);
             if len > max_antichain {
                 return None;
             }
         }
         Some(acc)
+    }
+}
+
+/// The `family.*` counter bundle recorded by observed materializations.
+struct FamilyCounters {
+    joins_explicit: rmt_obs::Counter,
+    joins_trie: rmt_obs::Counter,
+    candidates: rmt_obs::Counter,
+    kept: rmt_obs::Counter,
+}
+
+impl FamilyCounters {
+    fn new(reg: &rmt_obs::Registry) -> Self {
+        FamilyCounters {
+            joins_explicit: reg.counter("family.joins_explicit"),
+            joins_trie: reg.counter("family.joins_trie"),
+            candidates: reg.counter("family.candidate_sets"),
+            kept: reg.counter("family.kept_sets"),
+        }
+    }
+
+    /// Records the backend selection and candidate count of the upcoming
+    /// `acc ⊕ p`, before the join runs (the choice is a pure function of
+    /// the operand sizes, so this matches what the join does).
+    fn observe(&self, acc: &RestrictedStructure, p: &RestrictedStructure) {
+        let candidates = acc.join_candidates(p);
+        match crate::family::FamilyBackend::select(candidates) {
+            crate::family::FamilyBackend::Explicit => self.joins_explicit.inc(),
+            crate::family::FamilyBackend::Trie => self.joins_trie.inc(),
+        }
+        self.candidates.add(candidates as u64);
     }
 }
 

@@ -56,11 +56,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod family;
 mod join;
 mod restricted;
 mod structure;
 mod threshold;
 
+pub use family::{
+    ExplicitFamily, FamilyBackend, FamilyBuilder, MonotoneFamily, TrieFamily, TRIE_SELECT_THRESHOLD,
+};
 pub use join::JointView;
 pub use restricted::RestrictedStructure;
 pub use structure::AdversaryStructure;

@@ -2,6 +2,7 @@ use std::fmt;
 
 use rmt_sets::NodeSet;
 
+use crate::family::FamilyBackend;
 use crate::structure::AdversaryStructure;
 
 /// An adversary structure together with the domain it is restricted to:
@@ -98,12 +99,42 @@ impl RestrictedStructure {
     ///
     /// [`JointView`]: crate::JointView
     pub fn join(&self, other: &RestrictedStructure) -> RestrictedStructure {
+        self.join_with(other, FamilyBackend::select(self.join_candidates(other)))
+    }
+
+    /// [`RestrictedStructure::join`] with a forced antichain backend, for
+    /// the differential suites and benches; regular callers should let
+    /// [`RestrictedStructure::join`] select per pair-grid size.
+    pub fn join_with(
+        &self,
+        other: &RestrictedStructure,
+        backend: FamilyBackend,
+    ) -> RestrictedStructure {
         let (left, right, domain) = self.cylinder_sets(other);
-        let structure = AdversaryStructure::from_sets(
+        let structure = AdversaryStructure::from_sets_with(
+            backend,
             left.iter()
                 .flat_map(|l| right.iter().map(move |r| l.intersection(r))),
         );
         RestrictedStructure { domain, structure }
+    }
+
+    /// The number of candidate sets a `self ⊕ other` materialization prunes:
+    /// the size of the cylinder pair grid (trivial structures contribute one
+    /// cylinder set). This is the quantity [`FamilyBackend::select`] keys on,
+    /// exposed so observed joins can record the choice deterministically.
+    pub fn join_candidates(&self, other: &RestrictedStructure) -> usize {
+        let left = if self.structure.is_trivial() {
+            1
+        } else {
+            self.structure.maximal_sets().len()
+        };
+        let right = if other.structure.is_trivial() {
+            1
+        } else {
+            other.structure.maximal_sets().len()
+        };
+        left * right
     }
 
     /// [`RestrictedStructure::join`] with the pairwise-intersection
@@ -121,8 +152,10 @@ impl RestrictedStructure {
         // itself; the sequential path is bit-identical anyway.
         const MIN_PAIRS_PER_WORKER: usize = 64;
         let workers = rmt_par::effective_threads(threads, pairs / MIN_PAIRS_PER_WORKER);
+        let backend = FamilyBackend::select(pairs);
         if workers <= 1 {
-            let structure = AdversaryStructure::from_sets(
+            let structure = AdversaryStructure::from_sets_with(
+                backend,
                 left.iter()
                     .flat_map(|l| right.iter().map(move |r| l.intersection(r))),
             );
@@ -132,13 +165,18 @@ impl RestrictedStructure {
             .map(|w| (w * pairs / workers)..((w + 1) * pairs / workers))
             .collect();
         let partials = rmt_par::parallel_map(ranges, workers, |range| {
-            AdversaryStructure::from_sets(range.map(|p| {
-                let l = &left[p / right.len()];
-                let r = &right[p % right.len()];
-                l.intersection(r)
-            }))
+            AdversaryStructure::from_sets_with(
+                backend,
+                range.map(|p| {
+                    let l = &left[p / right.len()];
+                    let r = &right[p % right.len()];
+                    l.intersection(r)
+                }),
+            )
         });
-        let structure = AdversaryStructure::from_sets(
+        let merged: usize = partials.iter().map(|p| p.maximal_sets().len()).sum();
+        let structure = AdversaryStructure::from_sets_with(
+            FamilyBackend::select(merged),
             partials
                 .iter()
                 .flat_map(|p| p.maximal_sets().iter().cloned()),

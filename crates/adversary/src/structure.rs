@@ -3,6 +3,8 @@ use std::fmt;
 
 use rmt_sets::NodeSet;
 
+use crate::family::{FamilyBackend, MonotoneFamily};
+
 /// A monotone family of node sets, represented by the antichain of its
 /// maximal sets.
 ///
@@ -46,12 +48,32 @@ impl AdversaryStructure {
 
     /// Builds the monotone closure of the given sets, pruning non-maximal
     /// ones.
+    ///
+    /// The antichain backend (explicit list vs. set-trie) is chosen by
+    /// [`FamilyBackend::select`] from the iterator's size hint; the result
+    /// is identical either way.
     pub fn from_sets<I: IntoIterator<Item = NodeSet>>(sets: I) -> Self {
-        let mut s = AdversaryStructure::trivial();
+        let iter = sets.into_iter();
+        let backend = FamilyBackend::select(iter.size_hint().0);
+        AdversaryStructure::from_sets_with(backend, iter)
+    }
+
+    /// [`AdversaryStructure::from_sets`] with a forced antichain backend.
+    ///
+    /// The differential suites and the `antichain_ops` bench use this to pin
+    /// the explicit and trie-compressed builds against each other; regular
+    /// callers should let [`AdversaryStructure::from_sets`] select.
+    pub fn from_sets_with<I: IntoIterator<Item = NodeSet>>(
+        backend: FamilyBackend,
+        sets: I,
+    ) -> Self {
+        let mut builder = backend.builder();
         for z in sets {
-            s.add_set(z);
+            builder.insert_maximal(z);
         }
-        s
+        AdversaryStructure {
+            max_sets: builder.into_antichain(),
+        }
     }
 
     /// Adds `set` (and implicitly all its subsets) to the family.

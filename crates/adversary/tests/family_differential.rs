@@ -1,0 +1,122 @@
+//! Differential gate for the antichain backends: the trie-compressed
+//! [`TrieFamily`] must be observationally identical to the explicit
+//! [`ExplicitFamily`] — same growth reports, same membership answers, same
+//! canonical antichain — on random insertion scripts, structure builds,
+//! binary joins, and full `materialize_bounded` folds. The explicit list is
+//! the historical algorithm and serves as ground truth.
+
+use proptest::prelude::*;
+use rmt_adversary::{
+    AdversaryStructure, ExplicitFamily, FamilyBackend, JointView, MonotoneFamily,
+    RestrictedStructure, TrieFamily,
+};
+use rmt_sets::NodeSet;
+
+const UNIVERSE: u32 = 9;
+
+fn nodeset() -> impl Strategy<Value = NodeSet> {
+    proptest::collection::btree_set(0u32..UNIVERSE, 0..=5)
+        .prop_map(|s| s.into_iter().collect::<NodeSet>())
+}
+
+fn sets(max: usize) -> impl Strategy<Value = Vec<NodeSet>> {
+    proptest::collection::vec(nodeset(), 0..max)
+}
+
+fn structure() -> impl Strategy<Value = AdversaryStructure> {
+    sets(6).prop_map(AdversaryStructure::from_sets)
+}
+
+fn restricted() -> impl Strategy<Value = RestrictedStructure> {
+    (structure(), nodeset()).prop_map(|(z, d)| RestrictedStructure::restrict(&z, d))
+}
+
+proptest! {
+    /// Insert scripts: both backends report the same growth at every step
+    /// and end with the same sorted antichain.
+    #[test]
+    fn insert_scripts_agree(script in sets(12)) {
+        let mut explicit = ExplicitFamily::new();
+        let mut trie = TrieFamily::new();
+        for s in &script {
+            prop_assert_eq!(
+                explicit.insert_maximal(s.clone()),
+                trie.insert_maximal(s.clone()),
+                "growth report diverged inserting {}", s
+            );
+            prop_assert_eq!(explicit.maximal_count(), trie.maximal_count());
+        }
+        prop_assert_eq!(explicit.into_antichain(), trie.into_antichain());
+    }
+
+    /// Membership: mid-build, the two backends answer identically on every
+    /// subset of the universe.
+    #[test]
+    fn membership_agrees(script in sets(8)) {
+        let mut explicit = ExplicitFamily::new();
+        let mut trie = TrieFamily::new();
+        for s in &script {
+            explicit.insert_maximal(s.clone());
+            trie.insert_maximal(s.clone());
+        }
+        for q in NodeSet::universe(UNIVERSE as usize).subsets() {
+            prop_assert_eq!(
+                explicit.contains_member(&q),
+                trie.contains_member(&q),
+                "membership diverged on {}", q
+            );
+        }
+    }
+
+    /// `from_sets_with`: the full structure constructor is backend-invariant
+    /// (this is the path every decider's antichains flow through).
+    #[test]
+    fn from_sets_is_backend_invariant(script in sets(12)) {
+        let explicit =
+            AdversaryStructure::from_sets_with(FamilyBackend::Explicit, script.iter().cloned());
+        let trie = AdversaryStructure::from_sets_with(FamilyBackend::Trie, script.iter().cloned());
+        prop_assert_eq!(&explicit, &trie);
+        prop_assert!(explicit.invariant_holds());
+    }
+
+    /// Binary ⊕: the pair-grid prune is backend-invariant.
+    #[test]
+    fn join_is_backend_invariant(e in restricted(), f in restricted()) {
+        let explicit = e.join_with(&f, FamilyBackend::Explicit);
+        let trie = e.join_with(&f, FamilyBackend::Trie);
+        prop_assert_eq!(explicit.structure(), trie.structure());
+        prop_assert_eq!(explicit.domain(), trie.domain());
+    }
+
+    /// `materialize_bounded`: an n-ary fold with every binary ⊕ forced to
+    /// one backend matches the other, bound decisions included.
+    #[test]
+    fn materialize_bounded_is_backend_invariant(
+        parts in proptest::collection::vec(restricted(), 0..4),
+        bound_exp in 0usize..10,
+    ) {
+        let fold = |backend: FamilyBackend| -> Option<RestrictedStructure> {
+            let mut acc = RestrictedStructure::from_parts(NodeSet::new(), []);
+            for p in &parts {
+                acc = acc.join_with(p, backend);
+                if acc.structure().maximal_sets().len() > (1 << bound_exp) {
+                    return None;
+                }
+            }
+            Some(acc)
+        };
+        let explicit = fold(FamilyBackend::Explicit);
+        let trie = fold(FamilyBackend::Trie);
+        prop_assert_eq!(
+            explicit.as_ref().map(RestrictedStructure::structure),
+            trie.as_ref().map(RestrictedStructure::structure)
+        );
+        // And the adaptive entry point agrees with both.
+        let view: JointView = parts.iter().cloned().collect();
+        let adaptive = view.materialize_bounded(1 << bound_exp);
+        prop_assert_eq!(
+            adaptive.as_ref().map(RestrictedStructure::structure),
+            explicit.as_ref().map(RestrictedStructure::structure)
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion bench for the antichain backends behind the adversary
+//! structures: subsumption-pruned insertion (`from_sets_with`), membership,
+//! and the binary ⊕ join, explicit sorted-list vs compressed set-trie, across
+//! candidate-set counts straddling `TRIE_SELECT_THRESHOLD`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rmt_adversary::{
+    AdversaryStructure, ExplicitFamily, FamilyBackend, MonotoneFamily, RestrictedStructure,
+    TrieFamily,
+};
+use rmt_graph::generators::seeded;
+use rmt_sets::{NodeId, NodeSet};
+use std::hint::black_box;
+
+const UNIVERSE: u32 = 24;
+
+/// `k` random ~8-element subsets of the 24-node universe: enough overlap to
+/// trigger subsumption pruning, enough spread to keep the antichain large.
+fn random_sets(k: usize, seed: u64) -> Vec<NodeSet> {
+    let mut rng = seeded(seed);
+    (0..k)
+        .map(|_| {
+            (0..8)
+                .map(|_| NodeId::new(rng.random_range(0..UNIVERSE)))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("antichain_insert");
+    for &k in &[64usize, 512, 2048] {
+        let sets = random_sets(k, 0xA17);
+        group.bench_with_input(BenchmarkId::new("explicit", k), &sets, |b, sets| {
+            b.iter(|| {
+                black_box(AdversaryStructure::from_sets_with(
+                    FamilyBackend::Explicit,
+                    sets.iter().cloned(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trie", k), &sets, |b, sets| {
+            b.iter(|| {
+                black_box(AdversaryStructure::from_sets_with(
+                    FamilyBackend::Trie,
+                    sets.iter().cloned(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("antichain_membership");
+    for &k in &[64usize, 512, 2048] {
+        let sets = random_sets(k, 0xA18);
+        let queries = random_sets(64, 0xA19);
+        let mut explicit = ExplicitFamily::new();
+        let mut trie = TrieFamily::new();
+        for s in &sets {
+            explicit.insert_maximal(s.clone());
+            trie.insert_maximal(s.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("explicit", k), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(explicit.contains_member(q));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trie", k), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(trie.contains_member(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("antichain_join");
+    for &k in &[8usize, 24, 48] {
+        let left = RestrictedStructure::restrict(
+            &AdversaryStructure::from_sets(random_sets(k, 0xA20)),
+            (0..16u32).collect(),
+        );
+        let right = RestrictedStructure::restrict(
+            &AdversaryStructure::from_sets(random_sets(k, 0xA21)),
+            (8..UNIVERSE).collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("explicit", k), &k, |b, _| {
+            b.iter(|| black_box(left.join_with(&right, FamilyBackend::Explicit)))
+        });
+        group.bench_with_input(BenchmarkId::new("trie", k), &k, |b, _| {
+            b.iter(|| black_box(left.join_with(&right, FamilyBackend::Trie)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_membership, bench_join);
+criterion_main!(benches);

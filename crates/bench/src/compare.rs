@@ -304,6 +304,12 @@ fn compare_values(
         return;
     }
     if let (Some(br), Some(cr)) = (as_ratio(b), as_ratio(c)) {
+        // Ratio cells are timing quotients (E13/E17 speedup columns): they
+        // inherit the duration band and the cross-machine switch — two
+        // different machines produce different speedups legitimately.
+        if !cfg.check_timing {
+            return;
+        }
         let (lo, hi) = if br <= cr { (br, cr) } else { (cr, br) };
         if lo > 0.0 && hi / lo > cfg.max_time_ratio {
             report.push(
@@ -686,6 +692,49 @@ mod tests {
         let bad = Json::parse(&mk(5035.0).encode().replace("\"wrong\":0", "\"wrong\":1")).unwrap();
         let report = compare_artifacts(&mk(5035.0), &bad, &CompareConfig::default());
         assert_eq!(report.hard_count(), 1, "{}", report.render());
+    }
+
+    #[test]
+    fn speedup_ratio_cells_band_like_timings() {
+        // E17-shaped rows: the speedup column is a timing quotient. Within
+        // the band it is clean, beyond it Soft, and in cross-machine mode
+        // (`check_timing = false`) it is skipped entirely — while verdict
+        // columns in the same row keep gating hard either way.
+        let mk = |speedup: f64, cut: i64| {
+            Json::parse(&format!(
+                r#"{{"schema": 2, "experiment": "e17_incremental",
+                    "params": {{"seed": "0xE17"}},
+                    "measurements": [
+                      {{"n": 24, "cut": {cut}, "no cut": 0,
+                        "incremental": {{"ns": 2700000, "human": "2.7ms"}},
+                        "speedup": {{"ratio": {speedup}, "human": "{speedup}×"}}}}
+                    ],
+                    "wall": {{"ns": 100, "human": "100ns"}},
+                    "counters": {{}}}}"#
+            ))
+            .expect("valid artifact")
+        };
+        let cfg = CompareConfig::default();
+        // Within the 2× band: clean despite the drift.
+        let report = compare_artifacts(&mk(5.5, 40), &mk(7.2, 40), &cfg);
+        assert!(report.findings.is_empty(), "{}", report.render());
+        // Beyond the band: Soft, never Hard.
+        let report = compare_artifacts(&mk(5.5, 40), &mk(18.0, 40), &cfg);
+        assert_eq!(report.hard_count(), 0, "{}", report.render());
+        assert_eq!(report.soft_count(), 1);
+        assert!(report.render().contains("ratio drifted"));
+        // Cross-machine mode skips the ratio comparison entirely.
+        let cross = CompareConfig {
+            check_timing: false,
+            ..CompareConfig::default()
+        };
+        let report = compare_artifacts(&mk(5.5, 40), &mk(18.0, 40), &cross);
+        assert!(report.findings.is_empty(), "{}", report.render());
+        // A verdict-mix flip in the same row still gates hard, with or
+        // without timing checks.
+        let report = compare_artifacts(&mk(5.5, 40), &mk(5.5, 39), &cross);
+        assert_eq!(report.hard_count(), 1, "{}", report.render());
+        assert!(report.render().contains("measurements[0].cut"));
     }
 
     #[test]

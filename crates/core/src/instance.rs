@@ -1,6 +1,7 @@
 use rmt_adversary::AdversaryStructure;
 use rmt_graph::{traversal, Graph, ViewAssignment, ViewKind};
 use rmt_sets::{NodeId, NodeSet};
+use std::sync::Arc;
 
 /// An RMT instance 𝓘 = (G, 𝒵, γ, D, R).
 ///
@@ -30,7 +31,10 @@ use rmt_sets::{NodeId, NodeSet};
 #[derive(Clone, Debug)]
 pub struct Instance {
     graph: Graph,
-    adversary: AdversaryStructure,
+    // Shared, not owned: 𝒵 can hold thousands of maximal sets, and graph-only
+    // churn ([`Instance::with_graph`]) must not pay to copy an unchanged
+    // structure.
+    adversary: Arc<AdversaryStructure>,
     views: ViewAssignment,
     dealer: NodeId,
     receiver: NodeId,
@@ -111,10 +115,51 @@ impl Instance {
         }
         Ok(Instance {
             graph,
-            adversary,
+            adversary: Arc::new(adversary),
             views,
             dealer,
             receiver,
+        })
+    }
+
+    /// Rebuilds the instance around a mutated graph, **sharing** the
+    /// adversary structure instead of cloning it.
+    ///
+    /// 𝒵 is reference-counted, so graph-only churn — the edge/node delta
+    /// path of [`IncrementalEngine`](crate::engine::IncrementalEngine) —
+    /// skips the structure copy, and when no node disappeared it also skips
+    /// the per-set revalidation; both dominate apply latency once 𝒵 holds
+    /// thousands of maximal sets. The views are recomputed uniformly with
+    /// `kind` on the new graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if the endpoints left the graph or a
+    /// removed node strands a corruption set outside it.
+    pub fn with_graph(&self, graph: Graph, kind: ViewKind) -> Result<Self, InstanceError> {
+        if !graph.contains_node(self.dealer) {
+            return Err(InstanceError::EndpointMissing(self.dealer));
+        }
+        if !graph.contains_node(self.receiver) {
+            return Err(InstanceError::EndpointMissing(self.receiver));
+        }
+        if !self.graph.nodes().is_subset(graph.nodes()) {
+            if let Some(bad) = self
+                .adversary
+                .maximal_sets()
+                .iter()
+                .find(|m| !m.is_subset(graph.nodes()))
+            {
+                return Err(InstanceError::StructureEscapesGraph(bad.clone()));
+            }
+        }
+        let views = ViewAssignment::uniform(&graph, kind);
+        Ok(Instance {
+            graph,
+            adversary: Arc::clone(&self.adversary),
+            views,
+            dealer: self.dealer,
+            receiver: self.receiver,
         })
     }
 

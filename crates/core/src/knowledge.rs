@@ -25,6 +25,17 @@ use rmt_sets::{NodeId, NodeSet};
 
 use crate::instance::Instance;
 
+/// What one [`KnowledgeCache::refresh`] (or full rebuild) invalidated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationStats {
+    /// Per-node restricted structures rebuilt because their view domain
+    /// changed (or the node was new).
+    pub parts_rebuilt: u64,
+    /// Joint-domain memo entries dropped because they touched a changed
+    /// node.
+    pub domains_dropped: u64,
+}
+
 /// Precomputed per-node knowledge for fast joint queries.
 pub struct KnowledgeCache {
     /// v ↦ 𝒵^{V(γ(v))}, indexed by node id.
@@ -75,6 +86,70 @@ impl KnowledgeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Reconciles the cache with `inst` after a topology mutation,
+    /// rebuilding only what the mutation actually touched.
+    ///
+    /// For every node of `inst`, the cached part is kept iff its domain
+    /// still equals the node's current view domain — valid because
+    /// `𝒵^{V(γ(v))}` is a pure function of the (unchanged) global structure
+    /// and that domain. Joint-domain memo entries are dropped iff their key
+    /// intersects a changed node, for the same reason. Nodes removed from
+    /// the graph lose their parts.
+    ///
+    /// Returns the set of nodes whose knowledge changed (rebuilt, added, or
+    /// removed) plus invalidation statistics. **Precondition:** the global
+    /// adversary structure of `inst` is the one this cache was built from;
+    /// after a structure change call [`KnowledgeCache::rebuild`] instead.
+    pub fn refresh(&mut self, inst: &Instance) -> (NodeSet, InvalidationStats) {
+        let size = inst.graph().nodes().last().map_or(0, |v| v.index() + 1);
+        if self.parts.len() < size {
+            self.parts.resize(size, None);
+        }
+        let mut changed = NodeSet::new();
+        let mut stats = InvalidationStats::default();
+        for (index, slot) in self.parts.iter_mut().enumerate() {
+            let v = NodeId::new(index as u32);
+            if !inst.graph().nodes().contains(v) {
+                if slot.take().is_some() {
+                    changed.insert(v);
+                }
+                continue;
+            }
+            let domain = inst.view_domain(v);
+            let stale = match slot.as_ref() {
+                Some(part) => part.domain() != &domain,
+                None => true,
+            };
+            if stale {
+                *slot = Some(RestrictedStructure::restrict(inst.adversary(), domain));
+                changed.insert(v);
+                stats.parts_rebuilt += 1;
+            }
+        }
+        if !changed.is_empty() {
+            let mut memo = self.domains.write().expect("domain memo lock");
+            let before = memo.len();
+            memo.retain(|b, _| b.is_disjoint(&changed));
+            stats.domains_dropped = (before - memo.len()) as u64;
+        }
+        (changed, stats)
+    }
+
+    /// Rebuilds every part and empties the memo — the refresh path for
+    /// adversary-structure changes, where no cached knowledge survives.
+    /// Returns the same statistics shape as [`KnowledgeCache::refresh`].
+    pub fn rebuild(&mut self, inst: &Instance) -> InvalidationStats {
+        let dropped = self.domains.read().expect("domain memo lock").len() as u64;
+        let rebuilt = KnowledgeCache::new(inst);
+        let stats = InvalidationStats {
+            parts_rebuilt: inst.graph().nodes().len() as u64,
+            domains_dropped: dropped,
+        };
+        self.parts = rebuilt.parts;
+        *self.domains.write().expect("domain memo lock") = HashMap::new();
+        stats
     }
 
     /// The restricted structure 𝒵^{V(γ(v))} of one player.
@@ -200,6 +275,64 @@ mod tests {
         let cache = KnowledgeCache::new(&inst);
         assert!(cache.joint_contains(&NodeSet::new(), &NodeSet::new()));
         assert!(!cache.joint_contains(&NodeSet::new(), &set(&[1])));
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_touched_parts() {
+        let inst = instance();
+        let mut cache = KnowledgeCache::new(&inst);
+        let _ = cache.joint_domain(&set(&[0, 1])); // touches the delta
+        let _ = cache.joint_domain(&set(&[4, 5])); // does not
+                                                   // Add the chord 0–3: under AdHoc views only 0 and 3 see new domains.
+        let mut g = inst.graph().clone();
+        g.add_edge(0.into(), 3.into());
+        let inst2 = Instance::new(
+            g,
+            inst.adversary().clone(),
+            ViewKind::AdHoc,
+            0.into(),
+            3.into(),
+        )
+        .unwrap();
+        let (changed, stats) = cache.refresh(&inst2);
+        assert_eq!(changed, set(&[0, 3]));
+        assert_eq!(stats.parts_rebuilt, 2);
+        assert_eq!(stats.domains_dropped, 1); // {0,1} out, {4,5} kept
+        let fresh = KnowledgeCache::new(&inst2);
+        for v in inst2.graph().nodes() {
+            assert_eq!(cache.part(v), fresh.part(v), "{v}");
+            assert_eq!(
+                cache.joint_domain(&NodeSet::singleton(v)),
+                fresh.joint_domain(&NodeSet::singleton(v))
+            );
+        }
+        // A refresh against an unchanged instance is a no-op.
+        let (changed, stats) = cache.refresh(&inst2);
+        assert!(changed.is_empty());
+        assert_eq!(stats, InvalidationStats::default());
+    }
+
+    #[test]
+    fn rebuild_matches_a_fresh_cache() {
+        let inst = instance();
+        let mut cache = KnowledgeCache::new(&inst);
+        let _ = cache.joint_domain(&set(&[1, 2]));
+        let z2 = rmt_adversary::threshold(inst.graph().nodes(), 1);
+        let inst2 = Instance::new(
+            inst.graph().clone(),
+            z2,
+            ViewKind::AdHoc,
+            0.into(),
+            3.into(),
+        )
+        .unwrap();
+        let stats = cache.rebuild(&inst2);
+        assert_eq!(stats.parts_rebuilt, 6);
+        assert_eq!(stats.domains_dropped, 1);
+        let fresh = KnowledgeCache::new(&inst2);
+        for v in inst2.graph().nodes() {
+            assert_eq!(cache.part(v), fresh.part(v), "{v}");
+        }
     }
 
     #[test]

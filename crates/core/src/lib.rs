@@ -55,6 +55,7 @@
 pub mod analysis;
 pub mod broadcast;
 pub mod cuts;
+pub mod engine;
 pub mod gallery;
 mod instance;
 pub mod knowledge;
@@ -64,6 +65,7 @@ pub mod reduction;
 pub mod sampling;
 pub mod textio;
 
+pub use engine::{ApplyStats, Delta, IncrementalEngine};
 pub use instance::{Instance, InstanceError};
-pub use knowledge::KnowledgeCache;
+pub use knowledge::{InvalidationStats, KnowledgeCache};
 pub use protocols::Value;

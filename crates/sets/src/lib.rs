@@ -30,7 +30,9 @@
 mod iter;
 mod node;
 mod nodeset;
+mod trie;
 
 pub use iter::{Combinations, Iter, Subsets};
 pub use node::NodeId;
 pub use nodeset::NodeSet;
+pub use trie::SetTrie;

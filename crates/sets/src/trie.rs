@@ -1,0 +1,290 @@
+//! A set-trie over [`NodeSet`]s: the compressed backend for antichains.
+//!
+//! Stored sets are paths of strictly ascending node ids, so families whose
+//! members share prefixes (threshold structures, restrictions of one global
+//! structure) share trie nodes instead of repeating whole bitsets. The two
+//! queries an antichain needs — *is some stored set a superset of q?* and
+//! *remove every stored subset of q* — both prune on the ascending-id order
+//! and never touch branches outside `q`'s id range, which is what makes
+//! subsumption-checked insertion cheaper than a linear scan once the family
+//! is large.
+
+use crate::{NodeId, NodeSet};
+
+/// A trie of node sets keyed by their ascending id sequences.
+///
+/// `SetTrie` stores an *antichain-agnostic* collection of distinct sets; the
+/// antichain discipline (no stored set contains another) is what
+/// [`SetTrie::insert_maximal`] maintains on top of the raw
+/// [`SetTrie::insert`]. The empty set is never stored.
+///
+/// # Example
+///
+/// ```
+/// use rmt_sets::{NodeSet, SetTrie};
+///
+/// let mut t = SetTrie::new();
+/// t.insert_maximal(&[0u32, 1].into_iter().collect::<NodeSet>());
+/// t.insert_maximal(&[0u32].into_iter().collect::<NodeSet>()); // subsumed, ignored
+/// t.insert_maximal(&[2u32].into_iter().collect::<NodeSet>());
+/// assert_eq!(t.len(), 2);
+/// assert!(t.contains_superset(&[1u32].into_iter().collect::<NodeSet>()));
+/// assert!(!t.contains_superset(&[1u32, 2].into_iter().collect::<NodeSet>()));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SetTrie {
+    root: Node,
+    len: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    /// Children sorted by id; every child's subtree contains a terminal.
+    children: Vec<(u32, Node)>,
+    /// `true` iff the id path from the root to this node is a stored set.
+    terminal: bool,
+}
+
+impl SetTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        SetTrie::default()
+    }
+
+    /// Number of stored sets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no set is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of trie nodes (root excluded): the compressed size of the
+    /// family, as opposed to `Σ|set|` for an explicit list.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            node.children.len() + node.children.iter().map(|(_, c)| count(c)).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Inserts `set` verbatim (no subsumption checks). Returns `true` if it
+    /// was not already stored. The empty set is rejected.
+    pub fn insert(&mut self, set: &NodeSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let mut node = &mut self.root;
+        for v in set {
+            let id = v.raw();
+            let pos = match node.children.binary_search_by_key(&id, |(k, _)| *k) {
+                Ok(pos) => pos,
+                Err(pos) => {
+                    node.children.insert(pos, (id, Node::default()));
+                    pos
+                }
+            };
+            node = &mut node.children[pos].1;
+        }
+        if node.terminal {
+            return false;
+        }
+        node.terminal = true;
+        self.len += 1;
+        true
+    }
+
+    /// Returns `true` if some stored set is a superset of `set` (equality
+    /// included). For the empty set this asks whether *anything* is stored.
+    pub fn contains_superset(&self, set: &NodeSet) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        if set.is_empty() {
+            return true;
+        }
+        let ids: Vec<u32> = set.iter().map(NodeId::raw).collect();
+        exists_superset(&self.root, &ids)
+    }
+
+    /// Removes every stored subset of `set` (equality included) and returns
+    /// how many sets were removed.
+    pub fn remove_subsets(&mut self, set: &NodeSet) -> usize {
+        let ids: Vec<u32> = set.iter().map(NodeId::raw).collect();
+        let removed = remove_subsets(&mut self.root, &ids);
+        self.len -= removed;
+        removed
+    }
+
+    /// Antichain insert: a no-op if a stored superset of `set` exists,
+    /// otherwise removes every stored subset and inserts `set`. Returns
+    /// `true` if the trie changed. The empty set is never stored (it is the
+    /// implied member of every monotone family).
+    pub fn insert_maximal(&mut self, set: &NodeSet) -> bool {
+        if set.is_empty() || self.contains_superset(set) {
+            return false;
+        }
+        self.remove_subsets(set);
+        self.insert(set)
+    }
+
+    /// The stored sets, in canonical [`NodeSet`] order.
+    pub fn to_sorted_sets(&self) -> Vec<NodeSet> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut path = NodeSet::new();
+        collect(&self.root, &mut path, &mut out);
+        out.sort();
+        out
+    }
+}
+
+fn exists_superset(node: &Node, ids: &[u32]) -> bool {
+    let Some(&next) = ids.first() else {
+        // Every node's subtree contains a terminal (children are pruned when
+        // emptied), so reaching here with all query ids matched is a hit.
+        return true;
+    };
+    for (id, child) in &node.children {
+        if *id > next {
+            // Children are sorted ascending and paths ascend too: no set
+            // below can still contain `next`.
+            return false;
+        }
+        let rest = if *id == next { &ids[1..] } else { ids };
+        if exists_superset(child, rest) {
+            return true;
+        }
+    }
+    false
+}
+
+fn remove_subsets(node: &mut Node, ids: &[u32]) -> usize {
+    let mut removed = 0;
+    node.children.retain_mut(|(id, child)| {
+        // Only branches whose id occurs in the query can hold subsets.
+        match ids.binary_search(id) {
+            Ok(pos) => {
+                if child.terminal {
+                    child.terminal = false;
+                    removed += 1;
+                }
+                removed += remove_subsets(child, &ids[pos + 1..]);
+                child.terminal || !child.children.is_empty()
+            }
+            Err(_) => true,
+        }
+    });
+    removed
+}
+
+fn collect(node: &Node, path: &mut NodeSet, out: &mut Vec<NodeSet>) {
+    if node.terminal {
+        out.push(path.clone());
+    }
+    for (id, child) in &node.children {
+        let v = NodeId::new(*id);
+        path.insert(v);
+        collect(child, path, out);
+        path.remove(v);
+    }
+}
+
+impl Extend<NodeSet> for SetTrie {
+    fn extend<I: IntoIterator<Item = NodeSet>>(&mut self, iter: I) {
+        for set in iter {
+            self.insert_maximal(&set);
+        }
+    }
+}
+
+impl FromIterator<NodeSet> for SetTrie {
+    fn from_iter<I: IntoIterator<Item = NodeSet>>(iter: I) -> Self {
+        let mut t = SetTrie::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_trie_has_no_supersets() {
+        let t = SetTrie::new();
+        assert!(t.is_empty());
+        assert!(!t.contains_superset(&NodeSet::new()));
+        assert!(!t.contains_superset(&set(&[0])));
+    }
+
+    #[test]
+    fn insert_rejects_empty_and_duplicates() {
+        let mut t = SetTrie::new();
+        assert!(!t.insert(&NodeSet::new()));
+        assert!(t.insert(&set(&[1, 3])));
+        assert!(!t.insert(&set(&[1, 3])));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn superset_query_skips_and_matches() {
+        let t: SetTrie = [set(&[0, 2, 5]), set(&[1, 3])].into_iter().collect();
+        assert!(t.contains_superset(&set(&[2, 5])));
+        assert!(t.contains_superset(&set(&[0])));
+        assert!(t.contains_superset(&set(&[3])));
+        assert!(t.contains_superset(&NodeSet::new()));
+        assert!(!t.contains_superset(&set(&[0, 3])));
+        assert!(!t.contains_superset(&set(&[4])));
+        assert!(!t.contains_superset(&set(&[2, 5, 7])));
+    }
+
+    #[test]
+    fn remove_subsets_prunes_branches() {
+        let mut t: SetTrie = [set(&[0]), set(&[0, 1]), set(&[2]), set(&[1, 2])]
+            .into_iter()
+            .collect();
+        // FromIterator runs insert_maximal, so {0} was subsumed by {0,1}
+        // and {2} by {1,2}.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove_subsets(&set(&[0, 1, 2])), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 0);
+    }
+
+    #[test]
+    fn insert_maximal_keeps_an_antichain() {
+        let mut t = SetTrie::new();
+        assert!(t.insert_maximal(&set(&[0, 1])));
+        assert!(!t.insert_maximal(&set(&[0]))); // subsumed
+        assert!(!t.insert_maximal(&set(&[0, 1]))); // duplicate
+        assert!(t.insert_maximal(&set(&[2])));
+        assert!(t.insert_maximal(&set(&[0, 1, 2]))); // supersedes both
+        assert_eq!(t.to_sorted_sets(), vec![set(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn sorted_sets_use_canonical_nodeset_order() {
+        // DFS order (lexicographic on ascending id paths) differs from the
+        // numeric NodeSet order: {0,5} comes before {1} in DFS but after it
+        // canonically.
+        let t: SetTrie = [set(&[0, 5]), set(&[1]), set(&[4])].into_iter().collect();
+        let sorted = t.to_sorted_sets();
+        let mut expected = vec![set(&[0, 5]), set(&[1]), set(&[4])];
+        expected.sort();
+        assert_eq!(sorted, expected);
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn node_count_reflects_prefix_sharing() {
+        let t: SetTrie = [set(&[0, 1, 2]), set(&[0, 1, 3])].into_iter().collect();
+        // Shared prefix 0→1, then two leaves: 4 nodes, not 6.
+        assert_eq!(t.node_count(), 4);
+    }
+}

@@ -13,6 +13,7 @@ use rmt_core::cuts::{
     zpp_cut_by_enumeration_anchored_par, zpp_cut_by_enumeration_par,
     zpp_cut_by_fixpoint_par_observed,
 };
+use rmt_core::engine::{Delta, IncrementalEngine};
 use rmt_core::protocols::zcpa::run_zcpa;
 use rmt_core::sampling::{random_instance_nonadjacent, threshold_instance};
 use rmt_core::{Instance, KnowledgeCache};
@@ -81,6 +82,29 @@ fn run_workload(threads: usize) -> RunRecord {
             zpp_cut_by_fixpoint_par_observed(&inst, &reg, threads)
         ));
         materialize_all(&inst, threads, &reg, &mut witnesses);
+    }
+
+    // Family 3: the incremental engine over a seeded mutation stream. The
+    // engine itself is sequential, but its `family.*` / `cache.*` counters
+    // land in the same snapshot the parallel deciders write to, so they must
+    // be thread-count invariant too.
+    {
+        let mut rng = seeded(0xDE71);
+        let inst = random_instance_nonadjacent(8, 0.35, ViewKind::AdHoc, 3, 2, &mut rng);
+        let mut engine = IncrementalEngine::from_instance(&inst, ViewKind::AdHoc);
+        let nodes: Vec<_> = inst.graph().nodes().iter().collect();
+        let deltas = [
+            Delta::AddEdge(nodes[0], nodes[3]),
+            Delta::RemoveEdge(nodes[0], nodes[3]),
+            Delta::AddEdge(nodes[2], nodes[5]),
+            Delta::StructureChange(rmt_adversary::threshold(inst.graph().nodes(), 1)),
+            Delta::AddEdge(nodes[1], nodes[4]),
+        ];
+        for delta in deltas {
+            engine.apply_observed(delta, &reg).unwrap();
+            witnesses.push(format!("{:?}", engine.decide_rmt_observed(&reg)));
+            witnesses.push(format!("{:?}", engine.decide_zpp_observed(&reg)));
+        }
     }
 
     RunRecord {

@@ -10,6 +10,7 @@ use rmt_core::cuts::{
     find_rmt_cut_anchored_observed, find_rmt_cut_observed,
     zpp_cut_by_enumeration_anchored_observed, zpp_cut_by_fixpoint_observed,
 };
+use rmt_core::engine::{Delta, IncrementalEngine};
 use rmt_core::protocols::attacks::PkaAttack;
 use rmt_core::protocols::pka_decision::{DecisionConfig, ReceiverState};
 use rmt_core::sampling::random_instance_nonadjacent;
@@ -65,6 +66,23 @@ fn emitted_names() -> (Vec<&'static str>, Vec<String>) {
         let view = cache.joint_view(inst.graph().nodes());
         let _ = view.materialize_bounded_par_observed(usize::MAX, 1, &reg);
     }
+
+    // The incremental decision engine: an edge toggle plus a structure
+    // change covers every `cache.invalidate.*` name, and repeated decides
+    // touch both `cache.cert_hits` and `cache.cert_misses`.
+    let mut engine = IncrementalEngine::from_instance(&instances[0], ViewKind::AdHoc);
+    let _ = engine.decide_rmt_observed(&reg);
+    let _ = engine.decide_zpp_observed(&reg);
+    engine
+        .apply_observed(Delta::AddEdge(0.into(), 3.into()), &reg)
+        .expect("well-formed delta");
+    let _ = engine.decide_rmt_observed(&reg);
+    let _ = engine.decide_rmt_observed(&reg);
+    let z = engine.instance().adversary().clone();
+    engine
+        .apply_observed(Delta::StructureChange(z), &reg)
+        .expect("well-formed delta");
+    let _ = engine.decide_zpp_observed(&reg);
 
     // The RMT-PKA receiver decision engine.
     let inst = solvable_diamond();
@@ -147,6 +165,16 @@ fn every_emitted_metric_is_documented_in_metrics_md() {
         "pka.selections_examined",
         "pka.decide_ns",
         "join.folds",
+        "family.joins_explicit",
+        "family.joins_trie",
+        "family.candidate_sets",
+        "family.kept_sets",
+        "cache.invalidate.parts",
+        "cache.invalidate.domains",
+        "cache.invalidate.certs",
+        "cache.invalidate.full",
+        "cache.cert_hits",
+        "cache.cert_misses",
         "hunt.candidates_executed",
         "hunt.shrink_steps",
         "netd.conn.dials",
